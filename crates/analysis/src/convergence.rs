@@ -1,0 +1,143 @@
+//! Convergence diagnostics on recorded trajectories.
+//!
+//! The figure experiments (F1, F4, F5) reduce `Ψ₀(t)` series to a handful
+//! of scalars: the first round a target is hit, the empirical geometric
+//! decay rate (to compare against the paper's `1 − 1/γ` envelope of Lemma
+//! 3.13), and e-folding times. These extractors are shared between the
+//! binaries and the test suites so the reductions themselves are tested.
+
+use crate::stats::linear_fit;
+
+/// First position whose value is `≤ target`, if any.
+///
+/// Series are `(round, value)` pairs in increasing round order.
+pub fn first_hit(series: &[(u64, f64)], target: f64) -> Option<u64> {
+    series.iter().find(|(_, v)| *v <= target).map(|(r, _)| *r)
+}
+
+/// The round by which the series first drops to `start/e` (one
+/// e-folding), where `start` is the value at the first sample.
+pub fn e_folding_round(series: &[(u64, f64)]) -> Option<u64> {
+    let start = series.first()?.1;
+    first_hit(series, start / std::f64::consts::E)
+}
+
+/// Fits a geometric decay `v(t) ≈ v₀·ρ^t` to the sub-series with values in
+/// `(floor, ∞)` by least squares on `ln v`, returning the per-round decay
+/// rate `ρ` (in `(0, 1)` for decaying series).
+///
+/// Returns `None` when fewer than two samples lie above the floor.
+///
+/// The `floor` should be the regime boundary — e.g. `ψ_c`, below which the
+/// multiplicative-drop lemma no longer applies.
+pub fn geometric_rate(series: &[(u64, f64)], floor: f64) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .filter(|(_, v)| *v > floor && *v > 0.0)
+        .map(|(r, v)| (*r as f64, v.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let xs: Vec<f64> = pts.iter().map(|(x, _)| *x).collect();
+    if xs.windows(2).all(|w| w[0] == w[1]) {
+        return None;
+    }
+    let ys: Vec<f64> = pts.iter().map(|(_, y)| *y).collect();
+    let fit = linear_fit(&xs, &ys);
+    Some(fit.slope.exp())
+}
+
+/// Validates a series against the Lemma 3.13 envelope
+/// `v(t) ≤ (1 − 1/γ)^t·v(0)` while above `floor`; returns the first
+/// violating round, or `None` if the envelope holds.
+///
+/// A small relative slack absorbs sampling noise: a sample violates only
+/// if it exceeds the envelope by more than `slack` relatively.
+pub fn envelope_violation(
+    series: &[(u64, f64)],
+    gamma: f64,
+    floor: f64,
+    slack: f64,
+) -> Option<u64> {
+    let start = series.first()?.1;
+    let rho = 1.0 - 1.0 / gamma;
+    for (r, v) in series {
+        if *v <= floor {
+            break;
+        }
+        let envelope = start * rho.powf(*r as f64);
+        if *v > envelope * (1.0 + slack) {
+            return Some(*r);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometric_series(v0: f64, rho: f64, rounds: u64) -> Vec<(u64, f64)> {
+        (0..=rounds).map(|r| (r, v0 * rho.powf(r as f64))).collect()
+    }
+
+    #[test]
+    fn first_hit_finds_threshold() {
+        let s = vec![(0, 100.0), (5, 50.0), (10, 20.0), (15, 5.0)];
+        assert_eq!(first_hit(&s, 60.0), Some(5));
+        assert_eq!(first_hit(&s, 20.0), Some(10));
+        assert_eq!(first_hit(&s, 1.0), None);
+        assert_eq!(first_hit(&[], 1.0), None);
+    }
+
+    #[test]
+    fn e_folding_on_exact_geometric() {
+        // ρ = e^{-1/10}: e-folding at exactly round 10.
+        let s = geometric_series(1000.0, (-0.1f64).exp(), 50);
+        assert_eq!(e_folding_round(&s), Some(10));
+    }
+
+    #[test]
+    fn geometric_rate_recovers_rho() {
+        let rho = 0.93;
+        let s = geometric_series(500.0, rho, 100);
+        let fitted = geometric_rate(&s, 1e-9).unwrap();
+        assert!((fitted - rho).abs() < 1e-9, "{fitted} vs {rho}");
+    }
+
+    #[test]
+    fn geometric_rate_respects_floor() {
+        // Series decays fast then flattens at 10; the floor excludes the
+        // flat tail from the fit.
+        let mut s = geometric_series(1000.0, 0.5, 10);
+        for r in 11..30 {
+            s.push((r, 10.0));
+        }
+        let fitted = geometric_rate(&s, 10.5).unwrap();
+        assert!((fitted - 0.5).abs() < 0.05, "{fitted}");
+        // Without the floor the flat tail biases the rate upward.
+        let biased = geometric_rate(&s, 1e-12).unwrap();
+        assert!(biased > fitted);
+    }
+
+    #[test]
+    fn geometric_rate_needs_two_points() {
+        assert!(geometric_rate(&[(0, 5.0)], 0.0).is_none());
+        assert!(geometric_rate(&[(0, 0.5), (1, 0.4)], 1.0).is_none());
+    }
+
+    #[test]
+    fn envelope_detects_violations() {
+        let gamma = 10.0;
+        // A series decaying exactly at the envelope rate: no violation.
+        let ok = geometric_series(100.0, 1.0 - 1.0 / gamma, 40);
+        assert_eq!(envelope_violation(&ok, gamma, 1e-9, 0.01), None);
+        // A slower series violates quickly.
+        let slow = geometric_series(100.0, 0.99, 40);
+        let v = envelope_violation(&slow, gamma, 1e-9, 0.01);
+        assert!(v.is_some());
+        // Below the floor nothing is checked.
+        assert_eq!(envelope_violation(&slow, gamma, 1e9, 0.01), None);
+    }
+}

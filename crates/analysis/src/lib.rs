@@ -1,0 +1,44 @@
+//! Experiment analysis for the PODC 2012 reproduction: statistics, the
+//! paper's bounds as code, multi-trial runners, and table rendering.
+//!
+//! The crate sits between the simulator ([`slb_core`]) and the experiment
+//! binaries (`slb-bench`'s `src/bin`): it owns everything needed to turn
+//! raw convergence measurements into the rows of the paper's Table 1 and
+//! the theorem-validation tables of EXPERIMENTS.md.
+//!
+//! * [`stats`] — summaries with confidence intervals; log-log power-law
+//!   fits for scaling exponents,
+//! * [`theory`] — `γ`, `ψ_c`, `T = 2γ·ln(m/n)`, Theorems 1.1–1.3, the
+//!   Table 1 bound shapes of this paper and of the \[6\] baseline,
+//! * [`runner`] — seeded multi-trial execution (optionally parallel) and
+//!   the canonical uniform-task convergence measurement,
+//! * [`tables`] — markdown/CSV rendering and `target/experiments/`
+//!   artifact handling.
+//!
+//! # Example: one Table 1 cell
+//!
+//! ```
+//! use slb_analysis::runner::{measure_uniform_convergence, Target, TrialConfig};
+//! use slb_analysis::theory;
+//! use slb_graphs::generators::Family;
+//!
+//! let cell = measure_uniform_convergence(
+//!     Family::Hypercube { d: 3 },
+//!     16,                      // m = 16·n
+//!     Target::ApproxPsi0,      // first round with Ψ₀ ≤ 4ψ_c
+//!     TrialConfig::sequential(3, 42),
+//!     100_000,
+//! );
+//! // The paper's Theorem 1.1 bound for the same instance:
+//! let bound = theory::thm11_expected_rounds(&cell.instance);
+//! assert!(cell.rounds.mean <= bound, "measured exceeds the paper bound");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod runner;
+pub mod stats;
+pub mod tables;
+pub mod theory;

@@ -1,0 +1,224 @@
+//! Descriptive statistics and regression for experiment summaries.
+//!
+//! The Table 1 reproduction reports convergence times as means with
+//! confidence intervals across seeded trials, and extracts *scaling
+//! exponents* by least-squares regression of `log T` on `log n` — the
+//! quantity compared against the paper's asymptotic bounds.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for singletons).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (mean of middle two for even counts).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains NaN.
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "summary of empty sample");
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "summary of sample containing NaN"
+        );
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            0.5 * (sorted[count / 2 - 1] + sorted[count / 2])
+        };
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        self.std_dev / (self.count as f64).sqrt()
+    }
+
+    /// Half-width of the ~95% normal confidence interval
+    /// (`1.96 · std_error`).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+}
+
+/// An ordinary least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 for an exact fit; 0 when the
+    /// fit explains nothing; defined as 1 when `y` is constant).
+    pub r_squared: f64,
+}
+
+/// Least-squares fit of `y` on `x`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, have fewer than 2 points, or `x`
+/// is constant.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> LineFit {
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|v| (v - mx) * (v - mx)).sum();
+    assert!(sxx > 0.0, "x must not be constant");
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = y.iter().map(|v| (v - my) * (v - my)).sum();
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| {
+            let p = slope * a + intercept;
+            (b - p) * (b - p)
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fits `T ∝ n^k` by regressing `ln T` on `ln n`; returns the exponent `k`
+/// and the fit. Zero or negative observations are clamped to `floor` to
+/// keep the logarithm defined (convergence times measured as 0 rounds mean
+/// "already converged").
+///
+/// # Panics
+///
+/// As [`linear_fit`]; additionally if `floor <= 0`.
+pub fn power_law_fit(n: &[f64], t: &[f64], floor: f64) -> LineFit {
+    assert!(floor > 0.0, "floor must be positive");
+    let lx: Vec<f64> = n.iter().map(|v| v.max(floor).ln()).collect();
+    let ly: Vec<f64> = t.iter().map(|v| v.max(floor).ln()).collect();
+    linear_fit(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_close(s.mean, 2.5, 1e-12);
+        assert_close(s.median, 2.5, 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // var = (2.25+0.25+0.25+2.25)/3 = 5/3.
+        assert_close(s.std_dev, (5.0f64 / 3.0).sqrt(), 1e-12);
+        assert_close(s.std_error(), s.std_dev / 2.0, 1e-12);
+        assert_close(s.ci95_half_width(), 1.96 * s.std_error(), 1e-12);
+    }
+
+    #[test]
+    fn summary_odd_median_and_singleton() {
+        assert_eq!(Summary::of(&[3.0, 1.0, 2.0]).median, 2.0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn exact_line_fit() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0];
+        let f = linear_fit(&x, &y);
+        assert_close(f.slope, 2.0, 1e-12);
+        assert_close(f.intercept, 1.0, 1e-12);
+        assert_close(f.r_squared, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_has_lower_r2() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 4.1, 5.9, 8.2, 9.8];
+        let f = linear_fit(&x, &y);
+        assert!(f.r_squared > 0.99);
+        assert!((f.slope - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn constant_y_r2_is_one() {
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_close(f.slope, 0.0, 1e-12);
+        assert_close(f.r_squared, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn power_law_recovery() {
+        // T = 3·n² exactly.
+        let n = [8.0, 16.0, 32.0, 64.0];
+        let t: Vec<f64> = n.iter().map(|v| 3.0 * v * v).collect();
+        let f = power_law_fit(&n, &t, 1.0);
+        assert_close(f.slope, 2.0, 1e-9);
+        assert_close(f.intercept, 3.0f64.ln(), 1e-9);
+        assert_close(f.r_squared, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn power_law_floor_clamps_zeros() {
+        let n = [8.0, 16.0, 32.0];
+        let t = [0.0, 2.0, 8.0];
+        let f = power_law_fit(&n, &t, 1.0); // 0 clamped to 1
+        assert!(f.slope > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_summary_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x must not be constant")]
+    fn constant_x_panics() {
+        let _ = linear_fit(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+}

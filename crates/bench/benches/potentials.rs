@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for potentials and equilibrium predicates —
+//! the per-round bookkeeping every experiment pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slb_core::equilibrium::{self, Threshold};
+use slb_core::model::{SpeedVector, System, TaskSet, TaskState};
+use slb_core::potential;
+use slb_graphs::generators;
+
+fn build(n_side: usize, tasks_per_node: usize) -> (System, TaskState) {
+    let graph = generators::torus(n_side, n_side);
+    let n = graph.node_count();
+    let mut rng = StdRng::seed_from_u64(11);
+    let speeds: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
+    let system = System::new(
+        graph,
+        SpeedVector::new(speeds).expect("valid speeds"),
+        TaskSet::uniform(n * tasks_per_node),
+    )
+    .expect("valid instance");
+    let assignment: Vec<usize> = (0..system.task_count())
+        .map(|_| rng.gen_range(0..n))
+        .collect();
+    let state = TaskState::from_assignment(&system, &assignment).expect("valid assignment");
+    (system, state)
+}
+
+fn potential_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("potential/report");
+    for side in [8usize, 16, 32] {
+        let (system, state) = build(side, 50);
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("torus{side}x{side}")),
+            |b| b.iter(|| potential::report(&system, &state)),
+        );
+    }
+    group.finish();
+
+    let (system, state) = build(32, 50);
+    c.bench_function("potential/psi0-n1024", |b| {
+        b.iter(|| {
+            potential::psi0(
+                state.node_weights(),
+                system.speeds(),
+                system.tasks().total_weight(),
+            )
+        })
+    });
+}
+
+fn equilibrium_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equilibrium");
+    for side in [8usize, 16, 32] {
+        let (system, state) = build(side, 50);
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("is-nash-torus{side}x{side}")),
+            |b| b.iter(|| equilibrium::is_nash(&system, &state, Threshold::UnitWeight)),
+        );
+    }
+    let (system, state) = build(16, 50);
+    group.bench_function("nash-gap-torus16x16", |b| {
+        b.iter(|| equilibrium::nash_gap(&system, &state, Threshold::UnitWeight))
+    });
+    group.bench_function("violations-torus16x16", |b| {
+        b.iter(|| equilibrium::violations(&system, &state, Threshold::UnitWeight))
+    });
+    group.finish();
+}
+
+fn state_benches(c: &mut Criterion) {
+    let (system, state) = build(16, 100);
+    c.bench_function("state/loads-n256", |b| b.iter(|| state.loads(&system)));
+    c.bench_function("state/tasks-by-node-m25600", |b| {
+        b.iter(|| state.tasks_by_node(&system))
+    });
+    c.bench_function("state/rebuild-aggregates-m25600", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            s.rebuild_aggregates(&system);
+            s
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    potential_benches,
+    equilibrium_benches,
+    state_benches
+);
+criterion_main!(benches);

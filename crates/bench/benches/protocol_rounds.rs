@@ -1,0 +1,164 @@
+//! Criterion micro-benchmarks: one protocol round across protocols,
+//! topologies, and the fast count-based path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slb_core::engine::uniform_fast::{CountState, UniformFastSim};
+use slb_core::model::{SpeedVector, System, TaskSet, TaskState};
+use slb_core::protocol::{
+    Alpha, BhsBaseline, Diffusion, Protocol, SelfishUniform, SelfishWeighted,
+};
+use slb_graphs::generators;
+
+fn uniform_system(graph: slb_graphs::Graph, tasks_per_node: usize) -> System {
+    let n = graph.node_count();
+    System::new(
+        graph,
+        SpeedVector::uniform(n),
+        TaskSet::uniform(n * tasks_per_node),
+    )
+    .expect("valid instance")
+}
+
+fn weighted_system(graph: slb_graphs::Graph, tasks_per_node: usize) -> System {
+    let n = graph.node_count();
+    let mut rng = StdRng::seed_from_u64(1);
+    let weights = (0..n * tasks_per_node)
+        .map(|_| rng.gen_range(0.05..=1.0))
+        .collect();
+    System::new(
+        graph,
+        SpeedVector::uniform(n),
+        TaskSet::weighted(weights).expect("weights valid"),
+    )
+    .expect("valid instance")
+}
+
+/// Benchmarks one round of a task-level protocol on a mid-balancing state
+/// (run a few warm-up rounds first so the measured round does real work).
+fn bench_task_protocol<P: Protocol>(
+    c: &mut Criterion,
+    group_name: &str,
+    id: &str,
+    system: &System,
+    protocol: P,
+) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut state = TaskState::all_on_node(system, slb_graphs::NodeId(0));
+    for _ in 0..5 {
+        protocol.round(system, &mut state, &mut rng);
+    }
+    let mut group = c.benchmark_group(group_name);
+    group.bench_function(BenchmarkId::from_parameter(id), |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            protocol.round(system, &mut s, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn protocol_benches(c: &mut Criterion) {
+    let ring = uniform_system(generators::ring(64), 100);
+    bench_task_protocol(
+        c,
+        "round/selfish-uniform",
+        "ring64-m6400",
+        &ring,
+        SelfishUniform::new(),
+    );
+
+    let torus = uniform_system(generators::torus(8, 8), 100);
+    bench_task_protocol(
+        c,
+        "round/selfish-uniform",
+        "torus8x8-m6400",
+        &torus,
+        SelfishUniform::new(),
+    );
+
+    let weighted = weighted_system(generators::ring(64), 100);
+    bench_task_protocol(
+        c,
+        "round/selfish-weighted",
+        "ring64-m6400",
+        &weighted,
+        SelfishWeighted::new(),
+    );
+    bench_task_protocol(
+        c,
+        "round/bhs-baseline",
+        "ring64-m6400",
+        &weighted,
+        BhsBaseline::new(),
+    );
+    bench_task_protocol(
+        c,
+        "round/diffusion",
+        "ring64-m6400",
+        &ring,
+        Diffusion::new(),
+    );
+}
+
+fn fast_path_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round/uniform-fast");
+    for (label, graph, m) in [
+        ("ring64-m6400", generators::ring(64), 6_400u64),
+        ("ring64-m640k", generators::ring(64), 640_000u64),
+        ("torus16x16-m25k", generators::torus(16, 16), 25_600u64),
+    ] {
+        let n = graph.node_count();
+        let system = System::new(graph, SpeedVector::uniform(n), TaskSet::uniform(m as usize))
+            .expect("valid instance");
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut sim = UniformFastSim::new(
+                &system,
+                Alpha::Approximate,
+                CountState::all_on_node(n, 0, m),
+                3,
+            );
+            for _ in 0..5 {
+                sim.step();
+            }
+            b.iter(|| sim.step())
+        });
+    }
+    group.finish();
+}
+
+fn parallel_engine_benches(c: &mut Criterion) {
+    use slb_core::engine::parallel::ParallelSimulation;
+    let system = uniform_system(generators::torus(16, 16), 200); // m = 51200
+    let mut group = c.benchmark_group("round/parallel-engine");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("threads{threads}")),
+            |b| {
+                let mut sim = ParallelSimulation::with_layout(
+                    &system,
+                    SelfishUniform::new(),
+                    TaskState::all_on_node(&system, slb_graphs::NodeId(0)),
+                    5,
+                    4096,
+                    threads,
+                );
+                for _ in 0..3 {
+                    sim.step();
+                }
+                b.iter(|| sim.step())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    protocol_benches,
+    fast_path_benches,
+    parallel_engine_benches
+);
+criterion_main!(benches);

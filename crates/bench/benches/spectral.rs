@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the spectral toolkit: dense Jacobi vs
+//! sparse shift-invert Lanczos, and the generalized Laplacian.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slb_graphs::generators;
+use slb_spectral::{generalized, lanczos, laplacian};
+
+fn lambda2_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lambda2/dense-jacobi");
+    for (label, graph) in [
+        ("ring64", generators::ring(64)),
+        ("torus8x8", generators::torus(8, 8)),
+        ("hypercube6", generators::hypercube(6)),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| laplacian::eigendecomposition(&graph).unwrap().lambda2())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("lambda2/lanczos");
+    for (label, graph) in [
+        ("ring600", generators::ring(600)),
+        ("hypercube10", generators::hypercube(10)),
+        ("torus24x25", generators::torus(24, 25)),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| lanczos::lambda2(&graph).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn generalized_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mu2/generalized");
+    let graph = generators::torus(8, 8);
+    let speeds: Vec<f64> = (0..64).map(|i| 1.0 + (i % 4) as f64).collect();
+    group.bench_function("torus8x8-dense", |b| {
+        b.iter(|| generalized::mu2(&graph, &speeds).unwrap())
+    });
+    let big = generators::ring(500);
+    let big_speeds: Vec<f64> = (0..500).map(|i| 1.0 + (i % 3) as f64).collect();
+    group.bench_function("ring500-lanczos", |b| {
+        b.iter(|| lanczos::mu2(&big, &big_speeds).unwrap())
+    });
+    group.finish();
+}
+
+fn quadratic_form_benches(c: &mut Criterion) {
+    let graph = generators::torus(32, 32);
+    let x: Vec<f64> = (0..1024).map(|i| (i as f64).sin()).collect();
+    c.bench_function("laplacian/quadratic-form-torus32x32", |b| {
+        b.iter(|| laplacian::quadratic_form(&graph, &x))
+    });
+    c.bench_function("laplacian/apply-torus32x32", |b| {
+        b.iter(|| laplacian::apply(&graph, &x))
+    });
+}
+
+criterion_group!(
+    benches,
+    lambda2_benches,
+    generalized_benches,
+    quadratic_form_benches
+);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! **F4** — §4's weighted protocols head to head.
+//!
+//! On one weighted instance (heavy-tailed weights, two machine classes),
+//! runs from the same initial state:
+//!
+//! * **Algorithm 2** (Definition 4.1 rule) — the paper's protocol,
+//! * **Algorithm 2, printed rule** — the uniform-speed pseudocode variant,
+//! * **\[6\] baseline** — per-task thresholds.
+//!
+//! Reports time to `Ψ₀ ≤ 4ψ_c^w`, the final Nash gap under both threshold
+//! notions, and the Ψ₀ trajectory CSV. Expected shape: Algorithm 2 freezes
+//! at the relaxed equilibrium (small Ψ₀ quickly, nonzero exact-NE gap);
+//! the \[6\] baseline keeps polishing light tasks toward the exact NE.
+//!
+//! Run: `cargo run -p slb-bench --release --bin fig_weighted_comparison [-- --quick]`
+
+use rand::Rng;
+use slb_analysis::tables::{fmt_value, write_artifact, Table};
+use slb_analysis::theory::{self, Instance};
+use slb_bench::{is_quick, psi0_trajectory, setup_rng};
+use slb_core::engine::{Simulation, StopCondition, StopReason};
+use slb_core::equilibrium::{self, Threshold};
+use slb_core::model::{SpeedVector, System, TaskSet, TaskState};
+use slb_core::protocol::{BhsBaseline, Protocol, SelfishWeighted, WeightedRule};
+use slb_graphs::generators::Family;
+use slb_graphs::NodeId;
+use std::fmt::Write as _;
+
+/// The two concrete protocol types compared by this figure.
+enum EvaluatedProtocol {
+    Weighted(SelfishWeighted),
+    Baseline(BhsBaseline),
+}
+
+/// Runs one protocol case: time-to-target, equilibrium quality at
+/// quiescence, and the trajectory CSV rows. Returns
+/// `(rounds, relaxed_ne, exact_gap, final_psi0)`.
+#[allow(clippy::too_many_arguments)]
+fn run_case<P: Protocol + Copy>(
+    system: &System,
+    protocol: P,
+    initial: &TaskState,
+    psi_target: f64,
+    budget: u64,
+    trajectory_rounds: u64,
+    label: &str,
+    csv: &mut String,
+) -> (String, bool, f64, f64) {
+    let mut sim = Simulation::new(system, protocol, initial.clone(), 0xF4F4);
+    let outcome = sim.run_until(StopCondition::Psi0Below(psi_target), budget);
+    let rounds_str = if outcome.reason == StopReason::ConditionMet {
+        fmt_value(outcome.rounds as f64)
+    } else {
+        format!("> {budget}")
+    };
+    // Let it keep running for the equilibrium-quality read-out.
+    sim.run_until(StopCondition::Quiescent(500), budget);
+    let relaxed = equilibrium::is_nash(system, sim.state(), Threshold::UnitWeight);
+    let gap = equilibrium::nash_gap(system, sim.state(), Threshold::LightestTask);
+    let psi0 = slb_core::potential::report(system, sim.state()).psi0;
+    for (round, psi) in psi0_trajectory(
+        system,
+        protocol,
+        initial.clone(),
+        0xF4F4,
+        trajectory_rounds,
+        (trajectory_rounds / 100).max(1),
+    ) {
+        let _ = writeln!(csv, "{label},{round},{psi}");
+    }
+    (rounds_str, relaxed, gap, psi0)
+}
+
+fn main() {
+    let quick = is_quick();
+    let family = Family::Ring {
+        n: if quick { 6 } else { 10 },
+    };
+    let tasks_per_node = if quick { 50 } else { 200 };
+
+    let graph = family.build();
+    let n = graph.node_count();
+    let m = n * tasks_per_node;
+    let speeds: Vec<u64> = (0..n).map(|i| if i % 4 == 0 { 4 } else { 1 }).collect();
+    let speed_vec = SpeedVector::integer(speeds).expect("integer speeds");
+    let mut wrng = setup_rng(0xF4);
+    let weights: Vec<f64> = (0..m).map(|_| wrng.gen_range(0.05..=1.0)).collect();
+    let total_w: f64 = weights.iter().sum();
+    let lambda2 = slb_spectral::closed_form::lambda2_family(family);
+    let inst = Instance {
+        n,
+        total_work: total_w,
+        max_degree: graph.max_degree(),
+        lambda2,
+        s_min: speed_vec.min(),
+        s_max: speed_vec.max(),
+        s_total: speed_vec.total(),
+        granularity: Some(1.0),
+    };
+    let psi_target = 4.0 * theory::psi_c_weighted(&inst);
+
+    let system = System::new(
+        family.build(),
+        speed_vec,
+        TaskSet::weighted(weights).unwrap(),
+    )
+    .expect("valid instance");
+    let initial = TaskState::all_on_node(&system, NodeId(0));
+
+    println!(
+        "# F4: weighted protocols on {family} (m={m}, W={total_w:.0}, target Ψ₀ ≤ {})\n",
+        fmt_value(psi_target)
+    );
+
+    let mut table = Table::new(
+        "Protocol comparison",
+        &[
+            "protocol",
+            "rounds to Ψ₀ ≤ 4ψ_c^w",
+            "relaxed NE (1/s_j)",
+            "exact-NE gap",
+            "final Ψ₀",
+        ],
+    );
+    let mut csv = String::from("protocol,round,psi0\n");
+    let budget: u64 = if quick { 50_000 } else { 400_000 };
+    let trajectory_rounds: u64 = if quick { 2_000 } else { 10_000 };
+
+    // One evaluation of a concrete protocol (protocols are Copy).
+    let mut evaluate = |label: &str, protocol: &dyn Fn() -> EvaluatedProtocol| {
+        let (rounds_str, relaxed, gap, psi0) = match protocol() {
+            EvaluatedProtocol::Weighted(p) => run_case(
+                &system,
+                p,
+                &initial,
+                psi_target,
+                budget,
+                trajectory_rounds,
+                label,
+                &mut csv,
+            ),
+            EvaluatedProtocol::Baseline(p) => run_case(
+                &system,
+                p,
+                &initial,
+                psi_target,
+                budget,
+                trajectory_rounds,
+                label,
+                &mut csv,
+            ),
+        };
+        table.push_row(vec![
+            label.into(),
+            rounds_str,
+            if relaxed { "yes".into() } else { "no".into() },
+            fmt_value(gap),
+            fmt_value(psi0),
+        ]);
+    };
+
+    evaluate("algorithm-2 (def 4.1)", &|| {
+        EvaluatedProtocol::Weighted(SelfishWeighted::new())
+    });
+    evaluate("algorithm-2 (printed)", &|| {
+        EvaluatedProtocol::Weighted(SelfishWeighted::with_rule(
+            WeightedRule::PrintedUniformSpeed,
+        ))
+    });
+    evaluate("bhs-baseline [6]", &|| {
+        EvaluatedProtocol::Baseline(BhsBaseline::new())
+    });
+
+    println!("{}", table.to_markdown());
+    println!(
+        "(Algorithm 2 with the Definition-4.1 rule freezes at the relaxed\n\
+         `1/s_j` equilibrium — the §4 design point; the [6] baseline keeps\n\
+         migrating light tasks and drives the exact-NE gap lower. The\n\
+         *printed* rule can deadlock before the relaxed equilibrium under\n\
+         heterogeneous speeds: its probability is 0 whenever W_i ≤ W_j even\n\
+         if ℓ_i − ℓ_j > 1/s_j — empirical evidence for preferring the\n\
+         Definition-4.1 form, recorded as inconsistency #2 in DESIGN.md.)"
+    );
+    match write_artifact("fig_weighted_comparison.csv", &csv) {
+        Ok(path) => println!("series: {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

@@ -1,0 +1,124 @@
+//! Shared harness code for the experiment binaries and Criterion benches.
+//!
+//! The binaries in `src/bin` regenerate the paper's evaluation artifacts
+//! (see DESIGN.md's per-experiment index): `table1` for the bound
+//! comparison table, `theorem_bounds` for Theorems 1.1–1.3, and the
+//! `fig_*` binaries for the figure-style experiments F1–F5. All of them
+//! print markdown tables to stdout and drop CSVs under
+//! `target/experiments/`.
+//!
+//! Every binary accepts `--quick` to shrink sizes and trial counts for
+//! smoke runs (the full settings are the EXPERIMENTS.md configuration).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slb_core::engine::{Simulation, StopCondition, StopReason};
+use slb_core::model::{System, TaskState};
+use slb_core::protocol::Protocol;
+
+/// Whether the current invocation asked for a quick smoke run.
+pub fn is_quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Rounds-to-target measurement for a task-level protocol, reporting
+/// `(rounds, reached)`. Unreached runs report the budget as a censored
+/// observation.
+pub fn rounds_until<P: Protocol>(
+    system: &System,
+    protocol: P,
+    initial: TaskState,
+    seed: u64,
+    condition: StopCondition,
+    max_rounds: u64,
+) -> (u64, bool) {
+    let mut sim = Simulation::new(system, protocol, initial, seed);
+    let outcome = sim.run_until(condition, max_rounds);
+    (outcome.rounds, outcome.reason == StopReason::ConditionMet)
+}
+
+/// Records the `Ψ₀` trajectory of a task-level protocol every
+/// `sample_every` rounds for `total_rounds` rounds (round 0 included).
+pub fn psi0_trajectory<P: Protocol>(
+    system: &System,
+    protocol: P,
+    initial: TaskState,
+    seed: u64,
+    total_rounds: u64,
+    sample_every: u64,
+) -> Vec<(u64, f64)> {
+    assert!(sample_every > 0, "sampling cadence must be positive");
+    let mut sim = Simulation::new(system, protocol, initial, seed);
+    let psi = |sim: &Simulation<P>| slb_core::potential::report(system, sim.state()).psi0;
+    let mut out = vec![(0u64, psi(&sim))];
+    for round in 1..=total_rounds {
+        sim.step();
+        if round % sample_every == 0 {
+            out.push((round, psi(&sim)));
+        }
+    }
+    out
+}
+
+/// A deterministically seeded RNG for experiment setup (workload
+/// generation, not protocol randomness).
+pub fn setup_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slb_core::equilibrium::Threshold;
+    use slb_core::model::{SpeedVector, TaskSet};
+    use slb_core::protocol::SelfishUniform;
+    use slb_graphs::{generators, NodeId};
+
+    fn sys() -> System {
+        System::new(
+            generators::ring(4),
+            SpeedVector::uniform(4),
+            TaskSet::uniform(16),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rounds_until_reaches_nash() {
+        let s = sys();
+        let (rounds, reached) = rounds_until(
+            &s,
+            SelfishUniform::new(),
+            TaskState::all_on_node(&s, NodeId(0)),
+            7,
+            StopCondition::Nash(Threshold::UnitWeight),
+            50_000,
+        );
+        assert!(reached);
+        assert!(rounds > 0);
+    }
+
+    #[test]
+    fn trajectory_is_sampled_and_decaying() {
+        let s = sys();
+        let traj = psi0_trajectory(
+            &s,
+            SelfishUniform::new(),
+            TaskState::all_on_node(&s, NodeId(0)),
+            7,
+            100,
+            10,
+        );
+        assert_eq!(traj.len(), 11); // 0, 10, ..., 100
+        assert!(traj.last().unwrap().1 <= traj[0].1);
+    }
+
+    #[test]
+    fn quick_flag_detection_is_safe() {
+        // The test harness args don't include --quick.
+        let _ = is_quick();
+    }
+}

@@ -1,0 +1,381 @@
+//! Simulation engines: sequential, deterministic-parallel, and the fast
+//! count-based path for uniform tasks.
+//!
+//! [`Simulation`] drives any [`Protocol`] round by round over a
+//! [`TaskState`], with stop conditions matching the quantities the paper's
+//! theorems are stated in (exact NE, `Ψ₀ ≤ 4ψ_c`, ε-approximate NE).
+//! [`ParallelSimulation`](parallel::ParallelSimulation) executes the
+//! decision phase of [`TaskProtocol`](crate::protocol::TaskProtocol)s
+//! across threads deterministically;
+//! [`uniform_fast`] replaces per-task sampling with per-node multinomial
+//! sampling for uniform tasks — distributionally identical and `O(n·Δ)`
+//! per round instead of `O(m)`.
+
+pub mod parallel;
+pub mod recorder;
+pub mod uniform_fast;
+
+use crate::equilibrium::{self, Threshold};
+use crate::model::{System, TaskState};
+use crate::potential;
+use crate::protocol::{Protocol, RoundReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// When to stop a [`Simulation::run_until`] loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCondition {
+    /// The state is an exact Nash equilibrium under the given threshold
+    /// (Theorem 1.2's target with [`Threshold::UnitWeight`] for uniform
+    /// tasks, [`Threshold::LightestTask`] for weighted ones).
+    Nash(Threshold),
+    /// `Ψ₀(x) ≤ bound` (Theorem 1.1/1.3's target with `bound = 4ψ_c`).
+    Psi0Below(f64),
+    /// The state is an ε-approximate NE.
+    EpsNash {
+        /// Improvement threshold rule.
+        threshold: Threshold,
+        /// The ε of the approximate equilibrium.
+        eps: f64,
+    },
+    /// No task migrated for this many consecutive rounds.
+    Quiescent(u64),
+}
+
+/// Why a [`Simulation::run_until`] loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The stop condition was satisfied.
+    ConditionMet,
+    /// The round budget was exhausted first.
+    BudgetExhausted,
+}
+
+/// Result of a [`Simulation::run_until`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// Rounds executed by this call.
+    pub rounds: u64,
+    /// Whether the condition was met or the budget ran out.
+    pub reason: StopReason,
+    /// Total migrations performed during this call.
+    pub migrations: u64,
+}
+
+/// A sequential round-by-round simulation of one protocol on one system.
+///
+/// # Example
+///
+/// ```
+/// use slb_core::engine::{Simulation, StopCondition, StopReason};
+/// use slb_core::equilibrium::Threshold;
+/// use slb_core::model::{SpeedVector, System, TaskSet, TaskState};
+/// use slb_core::protocol::SelfishUniform;
+/// use slb_graphs::{generators, NodeId};
+///
+/// let system = System::new(
+///     generators::ring(4),
+///     SpeedVector::uniform(4),
+///     TaskSet::uniform(20),
+/// )?;
+/// let state = TaskState::all_on_node(&system, NodeId(0));
+/// let mut sim = Simulation::new(&system, SelfishUniform::new(), state, 42);
+/// let outcome = sim.run_until(StopCondition::Nash(Threshold::UnitWeight), 10_000);
+/// assert_eq!(outcome.reason, StopReason::ConditionMet);
+/// # Ok::<(), slb_core::model::ModelError>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulation<'a, P> {
+    system: &'a System,
+    protocol: P,
+    state: TaskState,
+    rng: StdRng,
+    round: u64,
+}
+
+impl<'a, P: Protocol> Simulation<'a, P> {
+    /// Creates a simulation from an initial state and a master seed.
+    pub fn new(system: &'a System, protocol: P, state: TaskState, seed: u64) -> Self {
+        Simulation {
+            system,
+            protocol,
+            state,
+            rng: StdRng::seed_from_u64(seed),
+            round: 0,
+        }
+    }
+
+    /// The system under simulation.
+    pub fn system(&self) -> &System {
+        self.system
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &TaskState {
+        &self.state
+    }
+
+    /// Consumes the simulation, returning the final state.
+    pub fn into_state(self) -> TaskState {
+        self.state
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The protocol driving this simulation.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Executes one round.
+    pub fn step(&mut self) -> RoundReport {
+        let report = self
+            .protocol
+            .round(self.system, &mut self.state, &mut self.rng);
+        self.round += 1;
+        report
+    }
+
+    /// Executes exactly `rounds` rounds, returning total migrations.
+    pub fn run(&mut self, rounds: u64) -> u64 {
+        let mut migrations = 0u64;
+        for _ in 0..rounds {
+            migrations += self.step().migrations as u64;
+        }
+        migrations
+    }
+
+    /// Executes `rounds` rounds while recording the trajectory into a
+    /// [`recorder::Trace`] sampled every `sample_every` rounds (round 0 and
+    /// the final round are always recorded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every == 0`.
+    pub fn run_with_trace(&mut self, rounds: u64, sample_every: u64) -> recorder::Trace {
+        let mut trace = recorder::Trace::new(sample_every);
+        trace.record(self.round, self.system, &self.state, None);
+        let mut last_report = None;
+        for _ in 0..rounds {
+            let report = self.step();
+            last_report = Some(report);
+            trace.record(self.round, self.system, &self.state, Some(report));
+        }
+        if self.round % sample_every != 0 {
+            trace.record_forced(self.round, self.system, &self.state, last_report);
+        }
+        trace
+    }
+
+    /// Whether the stop condition currently holds.
+    pub fn condition_met(&self, condition: StopCondition) -> bool {
+        match condition {
+            StopCondition::Nash(threshold) => {
+                equilibrium::is_nash(self.system, &self.state, threshold)
+            }
+            StopCondition::Psi0Below(bound) => {
+                potential::psi0(
+                    self.state.node_weights(),
+                    self.system.speeds(),
+                    self.system.tasks().total_weight(),
+                ) <= bound
+            }
+            StopCondition::EpsNash { threshold, eps } => {
+                equilibrium::is_eps_nash(self.system, &self.state, threshold, eps)
+            }
+            StopCondition::Quiescent(_) => false, // needs history; handled in run_until
+        }
+    }
+
+    /// Runs until `condition` holds (checked before every round, so a
+    /// satisfied initial state costs zero rounds) or `max_rounds` elapse.
+    pub fn run_until(&mut self, condition: StopCondition, max_rounds: u64) -> RunOutcome {
+        let mut quiet_streak = 0u64;
+        let mut migrations = 0u64;
+        for executed in 0..max_rounds {
+            match condition {
+                StopCondition::Quiescent(need) => {
+                    if quiet_streak >= need {
+                        return RunOutcome {
+                            rounds: executed,
+                            reason: StopReason::ConditionMet,
+                            migrations,
+                        };
+                    }
+                }
+                c => {
+                    if self.condition_met(c) {
+                        return RunOutcome {
+                            rounds: executed,
+                            reason: StopReason::ConditionMet,
+                            migrations,
+                        };
+                    }
+                }
+            }
+            let report = self.step();
+            migrations += report.migrations as u64;
+            if report.migrations == 0 {
+                quiet_streak += 1;
+            } else {
+                quiet_streak = 0;
+            }
+        }
+        let reason = match condition {
+            StopCondition::Quiescent(need) if quiet_streak >= need => StopReason::ConditionMet,
+            c if !matches!(c, StopCondition::Quiescent(_)) && self.condition_met(c) => {
+                StopReason::ConditionMet
+            }
+            _ => StopReason::BudgetExhausted,
+        };
+        RunOutcome {
+            rounds: max_rounds,
+            reason,
+            migrations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{SpeedVector, TaskSet};
+    use crate::protocol::SelfishUniform;
+    use slb_graphs::{generators, NodeId};
+
+    fn sys() -> System {
+        System::new(
+            generators::ring(5),
+            SpeedVector::uniform(5),
+            TaskSet::uniform(25),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn step_advances_round_counter() {
+        let s = sys();
+        let st = TaskState::all_on_node(&s, NodeId(0));
+        let mut sim = Simulation::new(&s, SelfishUniform::new(), st, 1);
+        assert_eq!(sim.round(), 0);
+        sim.step();
+        sim.step();
+        assert_eq!(sim.round(), 2);
+        assert_eq!(sim.system().node_count(), 5);
+        assert_eq!(sim.protocol().name(), "selfish-uniform");
+    }
+
+    #[test]
+    fn run_until_nash_terminates() {
+        let s = sys();
+        let st = TaskState::all_on_node(&s, NodeId(0));
+        let mut sim = Simulation::new(&s, SelfishUniform::new(), st, 2);
+        let out = sim.run_until(StopCondition::Nash(Threshold::UnitWeight), 50_000);
+        assert_eq!(out.reason, StopReason::ConditionMet);
+        assert!(out.migrations > 0);
+        assert!(equilibrium::is_nash(&s, sim.state(), Threshold::UnitWeight));
+    }
+
+    #[test]
+    fn satisfied_condition_costs_zero_rounds() {
+        let s = sys();
+        let st = TaskState::from_assignment(
+            &s,
+            &[
+                0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 4, 4, 4, 4, 4,
+            ],
+        )
+        .unwrap();
+        let mut sim = Simulation::new(&s, SelfishUniform::new(), st, 3);
+        let out = sim.run_until(StopCondition::Nash(Threshold::UnitWeight), 100);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.reason, StopReason::ConditionMet);
+        assert_eq!(out.migrations, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let s = sys();
+        let st = TaskState::all_on_node(&s, NodeId(0));
+        let mut sim = Simulation::new(&s, SelfishUniform::new(), st, 4);
+        let out = sim.run_until(StopCondition::Psi0Below(0.0), 3);
+        assert_eq!(out.rounds, 3);
+        assert_eq!(out.reason, StopReason::BudgetExhausted);
+    }
+
+    #[test]
+    fn psi0_condition_stops_early() {
+        let s = sys();
+        let st = TaskState::all_on_node(&s, NodeId(0));
+        let psi_start = potential::report(&s, &st).psi0;
+        let mut sim = Simulation::new(&s, SelfishUniform::new(), st, 5);
+        let out = sim.run_until(StopCondition::Psi0Below(psi_start / 10.0), 100_000);
+        assert_eq!(out.reason, StopReason::ConditionMet);
+        let now = potential::report(&s, sim.state()).psi0;
+        assert!(now <= psi_start / 10.0);
+    }
+
+    #[test]
+    fn quiescence_detected_at_equilibrium() {
+        let s = sys();
+        let st = TaskState::all_on_node(&s, NodeId(0));
+        let mut sim = Simulation::new(&s, SelfishUniform::new(), st, 6);
+        let out = sim.run_until(StopCondition::Quiescent(20), 100_000);
+        assert_eq!(out.reason, StopReason::ConditionMet);
+    }
+
+    #[test]
+    fn eps_nash_weaker_than_exact() {
+        let s = sys();
+        let st = TaskState::all_on_node(&s, NodeId(0));
+        let mut exact = Simulation::new(&s, SelfishUniform::new(), st.clone(), 7);
+        let mut approx = Simulation::new(&s, SelfishUniform::new(), st, 7);
+        let t_exact = exact.run_until(StopCondition::Nash(Threshold::UnitWeight), 100_000);
+        let t_approx = approx.run_until(
+            StopCondition::EpsNash {
+                threshold: Threshold::UnitWeight,
+                eps: 0.5,
+            },
+            100_000,
+        );
+        assert_eq!(t_exact.reason, StopReason::ConditionMet);
+        assert_eq!(t_approx.reason, StopReason::ConditionMet);
+        assert!(t_approx.rounds <= t_exact.rounds);
+    }
+
+    #[test]
+    fn run_fixed_rounds() {
+        let s = sys();
+        let st = TaskState::all_on_node(&s, NodeId(0));
+        let mut sim = Simulation::new(&s, SelfishUniform::new(), st, 8);
+        sim.run(17);
+        assert_eq!(sim.round(), 17);
+        let final_state = sim.into_state();
+        final_state.check_invariants(&s).unwrap();
+    }
+
+    #[test]
+    fn run_with_trace_records_endpoints() {
+        let s = sys();
+        let st = TaskState::all_on_node(&s, NodeId(0));
+        let mut sim = Simulation::new(&s, SelfishUniform::new(), st, 9);
+        let trace = sim.run_with_trace(23, 10);
+        // Rounds 0, 10, 20, plus the forced final 23.
+        let rounds: Vec<u64> = trace.rows().iter().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![0, 10, 20, 23]);
+        assert!(trace.rows().last().unwrap().psi0 <= trace.rows()[0].psi0);
+        // A run length on the cadence has no duplicate final row.
+        let mut sim2 = Simulation::new(
+            &s,
+            SelfishUniform::new(),
+            TaskState::all_on_node(&s, NodeId(0)),
+            9,
+        );
+        let trace2 = sim2.run_with_trace(20, 10);
+        let rounds2: Vec<u64> = trace2.rows().iter().map(|r| r.round).collect();
+        assert_eq!(rounds2, vec![0, 10, 20]);
+    }
+}

@@ -1,0 +1,511 @@
+//! Fast count-based simulation of Algorithm 1 for uniform tasks.
+//!
+//! With uniform tasks, task identity is irrelevant to the dynamics: a round
+//! of Algorithm 1 is fully described by how many of node `i`'s `w_i` tasks
+//! move to each neighbor. Each task independently picks neighbor `j` with
+//! probability `1/deg(i)` and then migrates with probability `p_ij`, so the
+//! vector of per-neighbor counts is **multinomial** with success
+//! probabilities `q_j = p_ij/deg(i)` (and "stay" probability `1 − Σq_j`).
+//! Sampling that multinomial directly — via chained conditional binomials —
+//! replaces `O(m)` per-task work with `O(Σ_i deg(i)) = O(|E|)` plus the
+//! sampled counts, a large constant-factor win for the Table 1 sweeps where
+//! `m/n` is large.
+//!
+//! The binomial sampler is exact (inverse-transform CDF walk) up to a mean
+//! of [`NORMAL_APPROX_THRESHOLD`], beyond which a clamped normal
+//! approximation takes over; at those counts the relative error is far
+//! below the run-to-run variance of the protocol itself (documented
+//! substitution — see DESIGN.md).
+
+use crate::equilibrium;
+use crate::model::{SpeedVector, System};
+use crate::potential;
+use crate::protocol::{migration_probability, Alpha};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr_free::sample_binomial;
+
+/// Mean above which the internal binomial sampler switches to the normal
+/// approximation.
+pub const NORMAL_APPROX_THRESHOLD: f64 = 64.0;
+
+/// Exact-ish binomial sampling without external distribution crates.
+mod rand_distr_free {
+    use super::NORMAL_APPROX_THRESHOLD;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Standard normal via Box–Muller.
+    fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Samples `Binomial(n, p)`.
+    ///
+    /// Inverse-transform walk over the pmf for small means (exact);
+    /// clamped rounded normal for large means.
+    pub fn sample_binomial(n: u64, p: f64, rng: &mut StdRng) -> u64 {
+        if n == 0 || p <= 0.0 {
+            return 0;
+        }
+        if p >= 1.0 {
+            return n;
+        }
+        // Exploit symmetry to keep p ≤ 1/2 (shorter CDF walks).
+        if p > 0.5 {
+            return n - sample_binomial(n, 1.0 - p, rng);
+        }
+        let mean = n as f64 * p;
+        if mean > NORMAL_APPROX_THRESHOLD {
+            let sd = (n as f64 * p * (1.0 - p)).sqrt();
+            let x = mean + sd * sample_standard_normal(rng);
+            return x.round().clamp(0.0, n as f64) as u64;
+        }
+        // Inverse transform: walk k upward accumulating the pmf.
+        // pmf(0) = (1−p)^n computed in log space to avoid underflow.
+        let log_q = (n as f64) * (1.0 - p).ln();
+        let mut pmf = log_q.exp();
+        if pmf <= 0.0 {
+            // Extreme underflow (huge n, tiny p with mean ≤ threshold is
+            // impossible unless n astronomically large); fall back.
+            let sd = (n as f64 * p * (1.0 - p)).sqrt();
+            let x = mean + sd * sample_standard_normal(rng);
+            return x.round().clamp(0.0, n as f64) as u64;
+        }
+        let mut cdf = pmf;
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let mut k = 0u64;
+        let ratio = p / (1.0 - p);
+        while u > cdf && k < n {
+            k += 1;
+            pmf *= (n - k + 1) as f64 / k as f64 * ratio;
+            cdf += pmf;
+        }
+        k
+    }
+}
+
+/// The count-based state: `counts[i]` tasks on node `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountState {
+    counts: Vec<u64>,
+}
+
+impl CountState {
+    /// Builds from explicit counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty.
+    pub fn new(counts: Vec<u64>) -> Self {
+        assert!(!counts.is_empty(), "need at least one node");
+        CountState { counts }
+    }
+
+    /// All `m` tasks on one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= n`.
+    pub fn all_on_node(n: usize, node: usize, m: u64) -> Self {
+        assert!(node < n, "node out of range");
+        let mut counts = vec![0u64; n];
+        counts[node] = m;
+        CountState { counts }
+    }
+
+    /// The per-node counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of tasks.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Node weights as `f64` (uniform tasks: weight = count).
+    pub fn node_weights(&self) -> Vec<f64> {
+        self.counts.iter().map(|&c| c as f64).collect()
+    }
+
+    /// Loads `ℓ_i = w_i/s_i`.
+    pub fn loads(&self, speeds: &SpeedVector) -> Vec<f64> {
+        self.counts
+            .iter()
+            .zip(speeds.as_slice())
+            .map(|(&c, s)| c as f64 / s)
+            .collect()
+    }
+}
+
+/// Outcome of a fast run (mirrors [`crate::engine::RunOutcome`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastRunOutcome {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Whether the target was reached within the budget.
+    pub reached: bool,
+}
+
+/// Count-based simulator of **Algorithm 1** (uniform tasks).
+#[derive(Debug)]
+pub struct UniformFastSim<'a> {
+    system: &'a System,
+    alpha: f64,
+    state: CountState,
+    rng: StdRng,
+    round: u64,
+}
+
+impl<'a> UniformFastSim<'a> {
+    /// Creates the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system's tasks are not uniform, or the state total
+    /// does not match the system's `m`.
+    pub fn new(system: &'a System, alpha: Alpha, state: CountState, seed: u64) -> Self {
+        assert!(
+            system.tasks().is_uniform(),
+            "fast path requires uniform tasks"
+        );
+        assert_eq!(
+            state.total(),
+            system.task_count() as u64,
+            "state total must match the system's task count"
+        );
+        assert_eq!(
+            state.counts().len(),
+            system.node_count(),
+            "state length must match the node count"
+        );
+        UniformFastSim {
+            system,
+            alpha: alpha.resolve(system.speeds()),
+            state,
+            rng: StdRng::seed_from_u64(seed),
+            round: 0,
+        }
+    }
+
+    /// The current counts.
+    pub fn state(&self) -> &CountState {
+        &self.state
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Executes one round; returns the number of migrations.
+    pub fn step(&mut self) -> u64 {
+        let g = self.system.graph();
+        let speeds = self.system.speeds();
+        let loads = self.state.loads(speeds);
+        let counts = self.state.counts.clone();
+        let mut delta = vec![0i64; counts.len()];
+        let mut migrations = 0u64;
+
+        for i in g.nodes() {
+            let c = counts[i.index()];
+            if c == 0 {
+                continue;
+            }
+            let deg = g.degree(i);
+            let mut remaining = c;
+            let mut rem_prob = 1.0f64;
+            for &j in g.neighbors(i) {
+                if remaining == 0 {
+                    break;
+                }
+                let s_j = speeds.speed(j.index());
+                if loads[i.index()] - loads[j.index()] <= 1.0 / s_j {
+                    continue;
+                }
+                let p_ij = migration_probability(
+                    deg,
+                    g.d_max_endpoint(i, j),
+                    loads[i.index()],
+                    loads[j.index()],
+                    speeds.speed(i.index()),
+                    s_j,
+                    counts[i.index()] as f64,
+                    self.alpha,
+                );
+                // Joint destination probability for a single task.
+                let q = p_ij / deg as f64;
+                if q <= 0.0 {
+                    continue;
+                }
+                // Conditional binomial given earlier destinations missed.
+                let cond = (q / rem_prob).min(1.0);
+                let k = sample_binomial(remaining, cond, &mut self.rng);
+                if k > 0 {
+                    delta[i.index()] -= k as i64;
+                    delta[j.index()] += k as i64;
+                    migrations += k;
+                    remaining -= k;
+                }
+                rem_prob -= q;
+            }
+        }
+        for (c, d) in self.state.counts.iter_mut().zip(delta) {
+            let updated = *c as i64 + d;
+            debug_assert!(updated >= 0, "negative count after round");
+            *c = updated as u64;
+        }
+        self.round += 1;
+        migrations
+    }
+
+    /// `Ψ₀` of the current state.
+    pub fn psi0(&self) -> f64 {
+        potential::psi0(
+            &self.state.node_weights(),
+            self.system.speeds(),
+            self.system.tasks().total_weight(),
+        )
+    }
+
+    /// Whether the current state is a (uniform-task) Nash equilibrium.
+    pub fn is_nash(&self) -> bool {
+        equilibrium::is_nash_uniform_loads(
+            self.system.graph(),
+            self.system.speeds(),
+            &self.state.loads(self.system.speeds()),
+            self.state.counts(),
+        )
+    }
+
+    /// Runs until `Ψ₀ ≤ bound` or the budget runs out.
+    pub fn run_until_psi0(&mut self, bound: f64, max_rounds: u64) -> FastRunOutcome {
+        for executed in 0..max_rounds {
+            if self.psi0() <= bound {
+                return FastRunOutcome {
+                    rounds: executed,
+                    reached: true,
+                };
+            }
+            self.step();
+        }
+        FastRunOutcome {
+            rounds: max_rounds,
+            reached: self.psi0() <= bound,
+        }
+    }
+
+    /// Runs until an exact Nash equilibrium or the budget runs out.
+    pub fn run_until_nash(&mut self, max_rounds: u64) -> FastRunOutcome {
+        for executed in 0..max_rounds {
+            if self.is_nash() {
+                return FastRunOutcome {
+                    rounds: executed,
+                    reached: true,
+                };
+            }
+            self.step();
+        }
+        FastRunOutcome {
+            rounds: max_rounds,
+            reached: self.is_nash(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TaskSet;
+    use slb_graphs::generators;
+
+    fn sys(n_graph: slb_graphs::Graph, m: usize) -> System {
+        let n = n_graph.node_count();
+        System::new(n_graph, SpeedVector::uniform(n), TaskSet::uniform(m)).unwrap()
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(sample_binomial(10, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial(10, 1.0, &mut rng), 10);
+        for _ in 0..100 {
+            let k = sample_binomial(10, 0.3, &mut rng);
+            assert!(k <= 10);
+        }
+    }
+
+    #[test]
+    fn binomial_mean_is_right_small() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (n, p, trials) = (20u64, 0.25f64, 20000);
+        let sum: u64 = (0..trials).map(|_| sample_binomial(n, p, &mut rng)).sum();
+        let mean = sum as f64 / trials as f64;
+        let expected = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p) / trials as f64).sqrt();
+        assert!(
+            (mean - expected).abs() < 5.0 * sd,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn binomial_mean_is_right_large() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (n, p, trials) = (100_000u64, 0.2f64, 2000);
+        let sum: u64 = (0..trials).map(|_| sample_binomial(n, p, &mut rng)).sum();
+        let mean = sum as f64 / trials as f64;
+        let expected = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p) / trials as f64).sqrt();
+        assert!(
+            (mean - expected).abs() < 5.0 * sd,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn binomial_symmetry_branch() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 20000;
+        let sum: u64 = (0..trials)
+            .map(|_| sample_binomial(12, 0.75, &mut rng))
+            .sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 9.0).abs() < 0.15, "mean {mean} vs 9.0");
+    }
+
+    #[test]
+    fn count_state_accessors() {
+        let cs = CountState::all_on_node(4, 1, 100);
+        assert_eq!(cs.total(), 100);
+        assert_eq!(cs.counts(), &[0, 100, 0, 0]);
+        assert_eq!(cs.node_weights(), vec![0.0, 100.0, 0.0, 0.0]);
+        let speeds = SpeedVector::new(vec![1.0, 2.0, 1.0, 1.0]).unwrap();
+        assert_eq!(cs.loads(&speeds), vec![0.0, 50.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn conserves_tasks() {
+        let s = sys(generators::torus(3, 3), 900);
+        let mut sim = UniformFastSim::new(
+            &s,
+            Alpha::Approximate,
+            CountState::all_on_node(9, 0, 900),
+            5,
+        );
+        for _ in 0..100 {
+            sim.step();
+        }
+        assert_eq!(sim.state().total(), 900);
+        assert_eq!(sim.round(), 100);
+    }
+
+    #[test]
+    fn converges_to_nash() {
+        let s = sys(generators::ring(6), 120);
+        let mut sim = UniformFastSim::new(
+            &s,
+            Alpha::Approximate,
+            CountState::all_on_node(6, 0, 120),
+            6,
+        );
+        let out = sim.run_until_nash(100_000);
+        assert!(out.reached, "no NE within budget");
+        // Nash bounds *adjacent* load gaps by 1/s_j = 1; across the ring
+        // the spread can accumulate up to diam(C_6) = 3.
+        assert!(sim.is_nash());
+        let loads = sim.state().loads(s.speeds());
+        let spread = loads.iter().cloned().fold(f64::MIN, f64::max)
+            - loads.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread <= 3.0 + 1e-9, "spread {spread} exceeds diam bound");
+    }
+
+    #[test]
+    fn psi0_decreases_like_task_level_protocol() {
+        let s = sys(generators::hypercube(4), 1600);
+        let mut sim = UniformFastSim::new(
+            &s,
+            Alpha::Approximate,
+            CountState::all_on_node(16, 0, 1600),
+            7,
+        );
+        let before = sim.psi0();
+        for _ in 0..50 {
+            sim.step();
+        }
+        assert!(sim.psi0() < before / 4.0);
+    }
+
+    #[test]
+    fn matches_task_level_distribution_statistically() {
+        // First-round expected outflow from the hot node must match
+        // between the fast path and the per-task protocol: both should
+        // move ~ Σ_j f_0j tasks on average.
+        use crate::protocol::{Protocol, SelfishUniform};
+        let s = sys(generators::ring(4), 400);
+        let trials = 300;
+        let mut fast_total = 0u64;
+        for t in 0..trials {
+            let mut sim = UniformFastSim::new(
+                &s,
+                Alpha::Approximate,
+                CountState::all_on_node(4, 0, 400),
+                1000 + t,
+            );
+            fast_total += sim.step();
+        }
+        let mut task_total = 0u64;
+        for t in 0..trials {
+            let mut st = crate::model::TaskState::all_on_node(&s, slb_graphs::NodeId(0));
+            let mut rng = StdRng::seed_from_u64(5000 + t);
+            task_total += SelfishUniform::new()
+                .round(&s, &mut st, &mut rng)
+                .migrations as u64;
+        }
+        let fast_mean = fast_total as f64 / trials as f64;
+        let task_mean = task_total as f64 / trials as f64;
+        // Both estimate the same expectation; allow generous sampling slack.
+        assert!(
+            (fast_mean - task_mean).abs() < 0.15 * task_mean.max(1.0),
+            "fast {fast_mean} vs task-level {task_mean}"
+        );
+    }
+
+    #[test]
+    fn run_until_psi0_stops() {
+        let s = sys(generators::complete(8), 800);
+        let mut sim = UniformFastSim::new(
+            &s,
+            Alpha::Approximate,
+            CountState::all_on_node(8, 0, 800),
+            8,
+        );
+        let start = sim.psi0();
+        let out = sim.run_until_psi0(start / 100.0, 100_000);
+        assert!(out.reached);
+        assert!(sim.psi0() <= start / 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fast path requires uniform tasks")]
+    fn weighted_tasks_rejected() {
+        let s = System::new(
+            generators::path(2),
+            SpeedVector::uniform(2),
+            TaskSet::weighted(vec![0.5, 0.5]).unwrap(),
+        )
+        .unwrap();
+        let _ = UniformFastSim::new(&s, Alpha::Approximate, CountState::new(vec![2, 0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "state total must match")]
+    fn total_mismatch_rejected() {
+        let s = sys(generators::path(2), 5);
+        let _ = UniformFastSim::new(&s, Alpha::Approximate, CountState::new(vec![2, 2]), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! The problem model: networks of machines with speeds, task populations,
+//! and assignment states.
+//!
+//! See §1.1 and §2 of the paper for the formal definitions mirrored here:
+//!
+//! * [`SpeedVector`] — speeds `s_i` with `s_min`, `s_max`, `S = Σs_i`, the
+//!   granularity `ε` of §3.2, and the means of Definition 3.19,
+//! * [`TaskSet`] — uniform or weighted (`w_ℓ ∈ (0, 1]`) task populations,
+//! * [`System`] — the immutable instance (graph × speeds × tasks),
+//! * [`TaskState`] — the mutable state `x` with loads `ℓ_i = W_i/s_i` and
+//!   deviations `e_i = W_i − w̄_i`.
+
+mod speeds;
+mod state;
+mod tasks;
+
+pub use speeds::{SpeedError, SpeedVector};
+pub use state::{ModelError, Move, System, TaskState};
+pub use tasks::{TaskError, TaskId, TaskSet};

@@ -1,0 +1,402 @@
+//! Processor speeds: the vector `s`, the diagonal matrix `S`, and the
+//! granularity `ε`.
+//!
+//! The paper assumes speeds are scaled so the smallest speed is `s_min = 1`
+//! (§1.1) and, for the exact-Nash-equilibrium bound (Theorem 1.2), that a
+//! *granularity* `ε ∈ (0, 1]` exists with every `s_i = n_i·ε` for integers
+//! `n_i`. [`SpeedVector`] validates and caches all derived quantities the
+//! protocols and bounds need: `s_min`, `s_max`, `S = Σs_i`, the arithmetic
+//! and harmonic means of Definition 3.19, and the granularity.
+
+use std::fmt;
+
+/// Errors from constructing a [`SpeedVector`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpeedError {
+    /// The vector was empty.
+    Empty,
+    /// A speed was zero, negative, NaN or infinite.
+    NotPositive {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// `with_granularity` was given speeds that are not integer multiples
+    /// of the claimed granularity.
+    NotMultipleOfGranularity {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+        /// The claimed granularity.
+        granularity: f64,
+    },
+    /// The granularity was outside `(0, 1]`.
+    BadGranularity {
+        /// The offending granularity.
+        granularity: f64,
+    },
+}
+
+impl fmt::Display for SpeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpeedError::Empty => write!(f, "speed vector must be nonempty"),
+            SpeedError::NotPositive { index, value } => {
+                write!(f, "speed at index {index} must be positive and finite, got {value}")
+            }
+            SpeedError::NotMultipleOfGranularity {
+                index,
+                value,
+                granularity,
+            } => write!(
+                f,
+                "speed {value} at index {index} is not an integer multiple of granularity {granularity}"
+            ),
+            SpeedError::BadGranularity { granularity } => {
+                write!(f, "granularity must lie in (0, 1], got {granularity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpeedError {}
+
+/// The validated speed vector `s = (s₁, …, s_n)` with cached aggregates.
+///
+/// # Example
+///
+/// ```
+/// use slb_core::model::SpeedVector;
+///
+/// let s = SpeedVector::new(vec![1.0, 2.0, 4.0])?;
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// assert_eq!(s.total(), 7.0);        // S = Σ sᵢ
+/// assert_eq!(s.len(), 3);
+/// # Ok::<(), slb_core::model::SpeedError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedVector {
+    speeds: Vec<f64>,
+    min: f64,
+    max: f64,
+    total: f64,
+    granularity: Option<f64>,
+}
+
+impl SpeedVector {
+    /// Validates and wraps a speed vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeedError`] if the vector is empty or any entry is not a
+    /// positive finite number.
+    pub fn new(speeds: Vec<f64>) -> Result<Self, SpeedError> {
+        if speeds.is_empty() {
+            return Err(SpeedError::Empty);
+        }
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        let mut total = 0.0f64;
+        for (index, &value) in speeds.iter().enumerate() {
+            if value <= 0.0 || value.is_nan() || !value.is_finite() {
+                return Err(SpeedError::NotPositive { index, value });
+            }
+            min = min.min(value);
+            max = max.max(value);
+            total += value;
+        }
+        Ok(SpeedVector {
+            speeds,
+            min,
+            max,
+            total,
+            granularity: None,
+        })
+    }
+
+    /// Uniform speeds `s_i = 1` on `n` machines (granularity 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "need at least one machine");
+        SpeedVector {
+            speeds: vec![1.0; n],
+            min: 1.0,
+            max: 1.0,
+            total: n as f64,
+            granularity: Some(1.0),
+        }
+    }
+
+    /// Validates speeds that are integer multiples of `granularity`
+    /// (Theorem 1.2's requirement `s_i = n_i·ε`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeedError`] for invalid speeds, a granularity outside
+    /// `(0, 1]`, or a speed that is not (within `1e-9` relative error) an
+    /// integer multiple of the granularity.
+    pub fn with_granularity(speeds: Vec<f64>, granularity: f64) -> Result<Self, SpeedError> {
+        if granularity <= 0.0 || granularity.is_nan() || granularity > 1.0 {
+            return Err(SpeedError::BadGranularity { granularity });
+        }
+        let mut v = Self::new(speeds)?;
+        for (index, &value) in v.speeds.iter().enumerate() {
+            let ratio = value / granularity;
+            if (ratio - ratio.round()).abs() > 1e-9 * ratio.max(1.0) {
+                return Err(SpeedError::NotMultipleOfGranularity {
+                    index,
+                    value,
+                    granularity,
+                });
+            }
+        }
+        v.granularity = Some(granularity);
+        Ok(v)
+    }
+
+    /// Integer speeds (granularity 1), the setting of Theorem 1.2's
+    /// headline form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeedError`] if `speeds` is empty or contains a zero.
+    pub fn integer(speeds: Vec<u64>) -> Result<Self, SpeedError> {
+        Self::with_granularity(speeds.into_iter().map(|s| s as f64).collect(), 1.0)
+    }
+
+    /// Number of machines `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// Whether the vector is empty (never true after construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.speeds.is_empty()
+    }
+
+    /// The speed `s_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn speed(&self, i: usize) -> f64 {
+        self.speeds[i]
+    }
+
+    /// The raw slice of speeds.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.speeds
+    }
+
+    /// `s_min`.
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// `s_max`.
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The total capacity `S = Σ_i s_i`.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Whether all speeds are equal (the "uniform speeds" case).
+    pub fn is_uniform(&self) -> bool {
+        self.max == self.min
+    }
+
+    /// The granularity `ε`, when one was declared or derivable.
+    ///
+    /// Speeds constructed with [`SpeedVector::with_granularity`] or
+    /// [`SpeedVector::integer`] (or [`SpeedVector::uniform`]) carry it;
+    /// otherwise `None` and Theorem 1.2's bound does not apply.
+    #[inline]
+    pub fn granularity(&self) -> Option<f64> {
+        self.granularity
+    }
+
+    /// Arithmetic mean `s̄_a = Σ s_i / n` (Definition 3.19).
+    pub fn arithmetic_mean(&self) -> f64 {
+        self.total / self.len() as f64
+    }
+
+    /// Harmonic mean `s̄_h = n / Σ (1/s_i)` (Definition 3.19).
+    pub fn harmonic_mean(&self) -> f64 {
+        let inv_sum: f64 = self.speeds.iter().map(|s| 1.0 / s).sum();
+        self.len() as f64 / inv_sum
+    }
+
+    /// Rescales all speeds so that `s_min = 1` (the paper's normalization),
+    /// preserving any granularity declaration by dividing it as well
+    /// (clamped into `(0, 1]`).
+    pub fn normalized(&self) -> SpeedVector {
+        let scale = self.min;
+        let speeds: Vec<f64> = self.speeds.iter().map(|s| s / scale).collect();
+        let granularity = self.granularity.map(|g| (g / scale).min(1.0));
+        let mut v = SpeedVector::new(speeds).expect("scaling preserves validity");
+        v.granularity = granularity;
+        v
+    }
+
+    /// The average load `ℓ̄ = m/S` for total work `m` (task count or total
+    /// weight `W`).
+    pub fn average_load(&self, total_work: f64) -> f64 {
+        total_work / self.total
+    }
+
+    /// The balanced ("average") work vector `w̄ = (m/S)·s` of §2.
+    pub fn balanced_work(&self, total_work: f64) -> Vec<f64> {
+        let per_capacity = total_work / self.total;
+        self.speeds.iter().map(|s| per_capacity * s).collect()
+    }
+}
+
+impl AsRef<[f64]> for SpeedVector {
+    fn as_ref(&self) -> &[f64] {
+        &self.speeds
+    }
+}
+
+impl fmt::Display for SpeedVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "speeds(n={}, min={}, max={}, S={})",
+            self.len(),
+            self.min,
+            self.max,
+            self.total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let s = SpeedVector::new(vec![2.0, 1.0, 4.0]).unwrap();
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.total(), 7.0);
+        assert_eq!(s.speed(2), 4.0);
+        assert!(!s.is_uniform());
+        assert_eq!(s.granularity(), None);
+        assert!((s.arithmetic_mean() - 7.0 / 3.0).abs() < 1e-12);
+        assert!((s.harmonic_mean() - 3.0 / (0.5 + 1.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_speeds() {
+        let s = SpeedVector::uniform(5);
+        assert!(s.is_uniform());
+        assert_eq!(s.total(), 5.0);
+        assert_eq!(s.granularity(), Some(1.0));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn rejects_empty_and_nonpositive() {
+        assert_eq!(SpeedVector::new(vec![]), Err(SpeedError::Empty));
+        assert!(matches!(
+            SpeedVector::new(vec![1.0, 0.0]),
+            Err(SpeedError::NotPositive { index: 1, .. })
+        ));
+        assert!(matches!(
+            SpeedVector::new(vec![-1.0]),
+            Err(SpeedError::NotPositive { index: 0, .. })
+        ));
+        assert!(matches!(
+            SpeedVector::new(vec![f64::NAN]),
+            Err(SpeedError::NotPositive { .. })
+        ));
+        assert!(matches!(
+            SpeedVector::new(vec![f64::INFINITY]),
+            Err(SpeedError::NotPositive { .. })
+        ));
+    }
+
+    #[test]
+    fn granularity_validation() {
+        let s = SpeedVector::with_granularity(vec![0.5, 1.0, 2.5], 0.5).unwrap();
+        assert_eq!(s.granularity(), Some(0.5));
+        assert!(matches!(
+            SpeedVector::with_granularity(vec![0.5, 0.7], 0.5),
+            Err(SpeedError::NotMultipleOfGranularity { index: 1, .. })
+        ));
+        assert!(matches!(
+            SpeedVector::with_granularity(vec![1.0], 0.0),
+            Err(SpeedError::BadGranularity { .. })
+        ));
+        assert!(matches!(
+            SpeedVector::with_granularity(vec![1.0], 1.5),
+            Err(SpeedError::BadGranularity { .. })
+        ));
+    }
+
+    #[test]
+    fn integer_speeds() {
+        let s = SpeedVector::integer(vec![1, 3, 7]).unwrap();
+        assert_eq!(s.granularity(), Some(1.0));
+        assert_eq!(s.max(), 7.0);
+        assert!(SpeedVector::integer(vec![0, 1]).is_err());
+    }
+
+    #[test]
+    fn normalization() {
+        let s = SpeedVector::integer(vec![2, 4, 6]).unwrap();
+        let n = s.normalized();
+        assert_eq!(n.min(), 1.0);
+        assert_eq!(n.max(), 3.0);
+        assert_eq!(n.granularity(), Some(0.5));
+        // Already-normalized vectors are unchanged.
+        let u = SpeedVector::uniform(3).normalized();
+        assert_eq!(u.granularity(), Some(1.0));
+        assert_eq!(u.min(), 1.0);
+    }
+
+    #[test]
+    fn balanced_work_matches_average_load() {
+        let s = SpeedVector::new(vec![1.0, 3.0]).unwrap();
+        let w = s.balanced_work(8.0);
+        assert_eq!(w, vec![2.0, 6.0]);
+        assert_eq!(s.average_load(8.0), 2.0);
+        // Balanced work has equal load everywhere.
+        assert!((w[0] / 1.0 - w[1] / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_and_as_ref() {
+        let s = SpeedVector::uniform(2);
+        assert!(s.to_string().contains("n=2"));
+        assert_eq!(s.as_ref().len(), 2);
+        assert_eq!(s.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SpeedError::Empty.to_string().contains("nonempty"));
+        let e = SpeedError::NotPositive {
+            index: 2,
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("index 2"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Tasks: identifiers, weights, and the immutable task population.
+//!
+//! The paper distinguishes *uniform* tasks (all weight 1) from *weighted*
+//! tasks with `w_ℓ ∈ (0, 1]` (§1.1, §2). The weight bound `≤ 1` is not
+//! cosmetic: the variance bound of Lemma 4.3 uses `w_ℓ² ≤ w_ℓ`, so
+//! [`TaskSet`] enforces it at construction.
+
+use std::fmt;
+
+/// Identifier of a task (dense index `0..m`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// The dense index of this task.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<usize> for TaskId {
+    fn from(i: usize) -> Self {
+        TaskId(i)
+    }
+}
+
+/// Errors from constructing a [`TaskSet`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskError {
+    /// The population was empty.
+    Empty,
+    /// A weight was outside `(0, 1]` or not finite.
+    BadWeight {
+        /// Index of the offending task.
+        index: usize,
+        /// The offending weight.
+        weight: f64,
+    },
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::Empty => write!(f, "task set must be nonempty"),
+            TaskError::BadWeight { index, weight } => {
+                write!(
+                    f,
+                    "task weight at index {index} must lie in (0, 1], got {weight}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// The immutable population of `m` tasks with their weights.
+///
+/// Uniform populations are represented without storing `m` copies of `1.0`;
+/// [`TaskSet::weight`] is O(1) either way.
+///
+/// # Example
+///
+/// ```
+/// use slb_core::model::{TaskId, TaskSet};
+///
+/// let uniform = TaskSet::uniform(100);
+/// assert_eq!(uniform.len(), 100);
+/// assert_eq!(uniform.total_weight(), 100.0);
+/// assert!(uniform.is_uniform());
+///
+/// let weighted = TaskSet::weighted(vec![0.5, 1.0, 0.25])?;
+/// assert_eq!(weighted.weight(TaskId(2)), 0.25);
+/// assert_eq!(weighted.total_weight(), 1.75);
+/// # Ok::<(), slb_core::model::TaskError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSet {
+    weights: Option<Vec<f64>>,
+    len: usize,
+    total_weight: f64,
+    max_weight: f64,
+    min_weight: f64,
+}
+
+impl TaskSet {
+    /// `m` uniform tasks of weight 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn uniform(m: usize) -> Self {
+        assert!(m > 0, "need at least one task");
+        TaskSet {
+            weights: None,
+            len: m,
+            total_weight: m as f64,
+            max_weight: 1.0,
+            min_weight: 1.0,
+        }
+    }
+
+    /// Weighted tasks with `w_ℓ ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError`] if empty or any weight is outside `(0, 1]`.
+    pub fn weighted(weights: Vec<f64>) -> Result<Self, TaskError> {
+        if weights.is_empty() {
+            return Err(TaskError::Empty);
+        }
+        let mut total = 0.0f64;
+        let mut max = 0.0f64;
+        let mut min = f64::INFINITY;
+        for (index, &weight) in weights.iter().enumerate() {
+            if weight <= 0.0 || weight.is_nan() || weight > 1.0 || !weight.is_finite() {
+                return Err(TaskError::BadWeight { index, weight });
+            }
+            total += weight;
+            max = max.max(weight);
+            min = min.min(weight);
+        }
+        Ok(TaskSet {
+            len: weights.len(),
+            total_weight: total,
+            max_weight: max,
+            min_weight: min,
+            weights: Some(weights),
+        })
+    }
+
+    /// Number of tasks `m`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty (never true after construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The weight `w_ℓ` of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn weight(&self, id: TaskId) -> f64 {
+        match &self.weights {
+            None => {
+                assert!(id.0 < self.len, "task id out of range");
+                1.0
+            }
+            Some(w) => w[id.0],
+        }
+    }
+
+    /// Total weight `W = Σ_ℓ w_ℓ` (equals `m` for uniform tasks).
+    #[inline]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// The largest task weight.
+    #[inline]
+    pub fn max_weight(&self) -> f64 {
+        self.max_weight
+    }
+
+    /// The smallest task weight.
+    #[inline]
+    pub fn min_weight(&self) -> f64 {
+        self.min_weight
+    }
+
+    /// Whether all tasks have weight exactly 1.
+    #[inline]
+    pub fn is_uniform(&self) -> bool {
+        self.weights.is_none() || (self.min_weight == 1.0 && self.max_weight == 1.0)
+    }
+
+    /// Iterator over `(TaskId, weight)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, f64)> + '_ {
+        (0..self.len).map(move |i| (TaskId(i), self.weight(TaskId(i))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_population() {
+        let t = TaskSet::uniform(5);
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(t.total_weight(), 5.0);
+        assert_eq!(t.weight(TaskId(4)), 1.0);
+        assert!(t.is_uniform());
+        assert_eq!(t.max_weight(), 1.0);
+        assert_eq!(t.min_weight(), 1.0);
+    }
+
+    #[test]
+    fn weighted_population() {
+        let t = TaskSet::weighted(vec![0.25, 0.5, 1.0]).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_weight(), 1.75);
+        assert_eq!(t.max_weight(), 1.0);
+        assert_eq!(t.min_weight(), 0.25);
+        assert!(!t.is_uniform());
+        let collected: Vec<(TaskId, f64)> = t.iter().collect();
+        assert_eq!(collected[1], (TaskId(1), 0.5));
+    }
+
+    #[test]
+    fn all_ones_weighted_detected_as_uniform() {
+        let t = TaskSet::weighted(vec![1.0, 1.0]).unwrap();
+        assert!(t.is_uniform());
+    }
+
+    #[test]
+    fn rejects_invalid_weights() {
+        assert_eq!(TaskSet::weighted(vec![]), Err(TaskError::Empty));
+        assert!(matches!(
+            TaskSet::weighted(vec![0.0]),
+            Err(TaskError::BadWeight { index: 0, .. })
+        ));
+        assert!(matches!(
+            TaskSet::weighted(vec![0.5, 1.5]),
+            Err(TaskError::BadWeight { index: 1, .. })
+        ));
+        assert!(matches!(
+            TaskSet::weighted(vec![-0.1]),
+            Err(TaskError::BadWeight { .. })
+        ));
+        assert!(matches!(
+            TaskSet::weighted(vec![f64::NAN]),
+            Err(TaskError::BadWeight { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "task id out of range")]
+    fn uniform_out_of_range_panics() {
+        let t = TaskSet::uniform(2);
+        let _ = t.weight(TaskId(2));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(TaskId(3).to_string(), "t3");
+        assert!(TaskError::Empty.to_string().contains("nonempty"));
+        let e = TaskError::BadWeight {
+            index: 1,
+            weight: 2.0,
+        };
+        assert!(e.to_string().contains("(0, 1]"));
+    }
+}

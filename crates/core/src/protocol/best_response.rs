@@ -1,0 +1,199 @@
+//! Sequential best-response dynamics — the *coordinated* baseline.
+//!
+//! The selfish load-balancing literature the paper builds on (Even-Dar,
+//! Kesselman & Mansour \[13\]; Feldmann et al. \[15\]) studies dynamics where
+//! tasks move one at a time to their best available machine. Such dynamics
+//! converge monotonically (each move strictly decreases the potential
+//! `Φ₀`), but they presume global coordination — exactly what the paper's
+//! concurrent protocol avoids. This implementation exists as the
+//! contrast baseline for the experiment harness: *rounds* are cheap to
+//! count, but one best-response round performs `m` sequential, centrally
+//! ordered moves, a fundamentally different (and in practice unavailable)
+//! cost model.
+//!
+//! One round: tasks are visited in task order; each inspects its machine's
+//! neighbors against the **live** state (not a snapshot) and moves to the
+//! neighbor with the lowest post-move load, provided that strictly lowers
+//! its perceived load (`ℓ_i − ℓ_j > w_ℓ/s_j`).
+
+use crate::model::{System, TaskState};
+use crate::protocol::{Protocol, RoundReport};
+use rand::rngs::StdRng;
+use slb_graphs::NodeId;
+
+/// Sequential best-response dynamics (deterministic; ignores the RNG).
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use slb_core::equilibrium::{self, Threshold};
+/// use slb_core::model::{SpeedVector, System, TaskSet, TaskState};
+/// use slb_core::protocol::{BestResponse, Protocol};
+/// use slb_graphs::{generators, NodeId};
+///
+/// let system = System::new(
+///     generators::ring(6),
+///     SpeedVector::uniform(6),
+///     TaskSet::uniform(60),
+/// )?;
+/// let mut state = TaskState::all_on_node(&system, NodeId(0));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0); // unused
+/// let p = BestResponse::new();
+/// // A handful of sweeps suffices on a small ring.
+/// for _ in 0..20 { p.round(&system, &mut state, &mut rng); }
+/// assert!(equilibrium::is_nash(&system, &state, Threshold::LightestTask));
+/// # Ok::<(), slb_core::model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BestResponse {
+    _private: (),
+}
+
+impl BestResponse {
+    /// Creates the dynamics.
+    pub fn new() -> Self {
+        BestResponse::default()
+    }
+}
+
+impl Protocol for BestResponse {
+    fn name(&self) -> &'static str {
+        "best-response"
+    }
+
+    fn round(&self, system: &System, state: &mut TaskState, _rng: &mut StdRng) -> RoundReport {
+        let g = system.graph();
+        let speeds = system.speeds();
+        let mut migrations = 0usize;
+        let mut migrated_weight = 0.0f64;
+        for t in 0..system.task_count() {
+            let task = crate::model::TaskId(t);
+            let w = system.tasks().weight(task);
+            let i = state.task_node(task);
+            let load_i = state.load(system, i);
+            // Best neighbor by post-move load (w already included).
+            let mut best: Option<(NodeId, f64)> = None;
+            for &j in g.neighbors(i) {
+                let s_j = speeds.speed(j.index());
+                let post = (state.node_weight(j) + w) / s_j;
+                if post < best.map_or(f64::INFINITY, |(_, p)| p) {
+                    best = Some((j, post));
+                }
+            }
+            if let Some((j, post)) = best {
+                // Strict improvement over the current perceived load.
+                if post < load_i - 1e-12 {
+                    state.apply_move(system, task, j);
+                    migrations += 1;
+                    migrated_weight += w;
+                }
+            }
+        }
+        RoundReport {
+            migrations,
+            migrated_weight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::{self, Threshold};
+    use crate::model::{SpeedVector, TaskSet};
+    use crate::potential;
+    use rand::SeedableRng;
+    use slb_graphs::generators;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn deterministic_and_monotone() {
+        let sys = System::new(
+            generators::torus(3, 3),
+            SpeedVector::uniform(9),
+            TaskSet::uniform(90),
+        )
+        .unwrap();
+        let mut a = TaskState::all_on_node(&sys, NodeId(0));
+        let mut b = TaskState::all_on_node(&sys, NodeId(0));
+        let p = BestResponse::new();
+        let mut phi_prev = potential::report(&sys, &a).phi0;
+        for _ in 0..30 {
+            p.round(&sys, &mut a, &mut rng());
+            let phi = potential::report(&sys, &a).phi0;
+            assert!(phi <= phi_prev + 1e-9, "Φ₀ must not increase");
+            phi_prev = phi;
+            p.round(&sys, &mut b, &mut rng());
+        }
+        assert_eq!(a, b);
+        a.check_invariants(&sys).unwrap();
+    }
+
+    #[test]
+    fn converges_to_exact_weighted_nash() {
+        let sys = System::new(
+            generators::ring(5),
+            SpeedVector::integer(vec![1, 2, 1, 3, 1]).unwrap(),
+            TaskSet::weighted(vec![0.9, 0.5, 0.3, 0.2, 0.2, 0.1, 0.7, 0.4, 0.6, 0.8]).unwrap(),
+        )
+        .unwrap();
+        let mut st = TaskState::all_on_node(&sys, NodeId(0));
+        let p = BestResponse::new();
+        let mut reached = false;
+        for _ in 0..2000 {
+            let r = p.round(&sys, &mut st, &mut rng());
+            if r.migrations == 0 {
+                reached = true;
+                break;
+            }
+        }
+        assert!(reached, "best response should quiesce");
+        assert!(
+            equilibrium::is_nash(&sys, &st, Threshold::LightestTask),
+            "quiescent best-response state must be an exact NE"
+        );
+    }
+
+    #[test]
+    fn nash_state_is_fixed_point() {
+        let sys = System::new(
+            generators::path(3),
+            SpeedVector::uniform(3),
+            TaskSet::uniform(6),
+        )
+        .unwrap();
+        let mut st = TaskState::from_assignment(&sys, &[0, 0, 1, 1, 2, 2]).unwrap();
+        let before = st.clone();
+        let p = BestResponse::new();
+        let r = p.round(&sys, &mut st, &mut rng());
+        assert_eq!(r.migrations, 0);
+        assert_eq!(st, before);
+    }
+
+    #[test]
+    fn much_faster_in_rounds_than_randomized() {
+        // The coordinated baseline needs far fewer rounds (each round does
+        // m sequential moves) — the comparison motivating the paper.
+        let sys = System::new(
+            generators::ring(6),
+            SpeedVector::uniform(6),
+            TaskSet::uniform(120),
+        )
+        .unwrap();
+        let mut st = TaskState::all_on_node(&sys, NodeId(0));
+        let p = BestResponse::new();
+        let mut rounds = 0u64;
+        loop {
+            rounds += 1;
+            if p.round(&sys, &mut st, &mut rng()).migrations == 0 || rounds > 1000 {
+                break;
+            }
+        }
+        assert!(rounds < 100, "best response took {rounds} rounds");
+        assert!(equilibrium::is_nash(&sys, &st, Threshold::LightestTask));
+    }
+}

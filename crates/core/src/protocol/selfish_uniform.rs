@@ -1,0 +1,285 @@
+//! **Algorithm 1**: distributed selfish load balancing for uniform tasks on
+//! machines with speeds (p. 5 of the paper).
+//!
+//! One round, for every task `ℓ` on machine `i`, in parallel:
+//!
+//! 1. choose a neighbor `j` of `i` uniformly at random;
+//! 2. if `ℓ_i − ℓ_j > 1/s_j` (the task would strictly lower its perceived
+//!    load, accounting for its own arrival at `j`),
+//! 3. migrate with probability
+//!    `p_ij = deg(i)/d_ij · (ℓ_i − ℓ_j)/(α·(1/s_i + 1/s_j)·W_i)`.
+//!
+//! With `α = 4·s_max` this reaches `Ψ₀ ≤ 4ψ_c` in expected
+//! `O(ln(m/n)·Δ/λ₂·s_max²)` rounds (Theorem 1.1); with `α = 4·s_max/ε` it
+//! reaches an exact Nash equilibrium in expected
+//! `O(n·Δ²/λ₂·s_max⁴/ε²)` rounds (Theorem 1.2).
+
+use crate::model::{Move, System, TaskState};
+use crate::protocol::common::{migration_probability, Alpha};
+use crate::protocol::{Snapshot, TaskProtocol};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Algorithm 1 with a configurable damping constant [`Alpha`].
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use slb_core::model::{SpeedVector, System, TaskSet, TaskState};
+/// use slb_core::protocol::{Protocol, SelfishUniform};
+/// use slb_graphs::{generators, NodeId};
+///
+/// let system = System::new(
+///     generators::ring(8),
+///     SpeedVector::uniform(8),
+///     TaskSet::uniform(64),
+/// )?;
+/// let mut state = TaskState::all_on_node(&system, NodeId(0));
+/// let protocol = SelfishUniform::new();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let report = protocol.round(&system, &mut state, &mut rng);
+/// assert!(report.migrations > 0); // tasks spread out from the hot node
+/// # Ok::<(), slb_core::model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SelfishUniform {
+    alpha: Alpha,
+}
+
+impl SelfishUniform {
+    /// Algorithm 1 with the paper's default `α = 4·s_max`.
+    pub fn new() -> Self {
+        SelfishUniform {
+            alpha: Alpha::Approximate,
+        }
+    }
+
+    /// Algorithm 1 with an explicit [`Alpha`] policy.
+    pub fn with_alpha(alpha: Alpha) -> Self {
+        SelfishUniform { alpha }
+    }
+
+    /// The configured damping policy.
+    pub fn alpha(&self) -> Alpha {
+        self.alpha
+    }
+}
+
+impl TaskProtocol for SelfishUniform {
+    fn protocol_name(&self) -> &'static str {
+        "selfish-uniform"
+    }
+
+    fn decide(
+        &self,
+        system: &System,
+        snapshot: &Snapshot,
+        state: &TaskState,
+        range: Range<usize>,
+        rng: &mut StdRng,
+        out: &mut Vec<Move>,
+    ) {
+        debug_assert!(
+            system.tasks().is_uniform(),
+            "Algorithm 1 assumes uniform tasks; use SelfishWeighted for weights"
+        );
+        let g = system.graph();
+        let speeds = system.speeds();
+        let alpha = self.alpha.resolve(speeds);
+        for t in range {
+            let task = crate::model::TaskId(t);
+            let i = state.task_node(task);
+            let neighbors = g.neighbors(i);
+            if neighbors.is_empty() {
+                continue;
+            }
+            let j = neighbors[rng.gen_range(0..neighbors.len())];
+            let (ii, jj) = (i.index(), j.index());
+            let s_j = speeds.speed(jj);
+            // Migration condition of Algorithm 1: ℓ_i − ℓ_j > 1/s_j.
+            if snapshot.loads[ii] - snapshot.loads[jj] <= 1.0 / s_j {
+                continue;
+            }
+            let p = migration_probability(
+                g.degree(i),
+                g.d_max_endpoint(i, j),
+                snapshot.loads[ii],
+                snapshot.loads[jj],
+                speeds.speed(ii),
+                s_j,
+                snapshot.node_weights[ii],
+                alpha,
+            );
+            if p > 0.0 && rng.gen_bool(p.min(1.0)) {
+                out.push(Move { task, to: j });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::{self, Threshold};
+    use crate::model::{SpeedVector, TaskSet};
+    use crate::potential;
+    use crate::protocol::Protocol;
+    use rand::SeedableRng;
+    use slb_graphs::{generators, NodeId};
+
+    fn run_rounds(
+        system: &System,
+        state: &mut TaskState,
+        protocol: &SelfishUniform,
+        rounds: usize,
+        seed: u64,
+    ) -> usize {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut migrations = 0;
+        for _ in 0..rounds {
+            migrations += protocol.round(system, state, &mut rng).migrations;
+        }
+        migrations
+    }
+
+    #[test]
+    fn conserves_tasks() {
+        let sys = System::new(
+            generators::ring(6),
+            SpeedVector::uniform(6),
+            TaskSet::uniform(60),
+        )
+        .unwrap();
+        let mut st = TaskState::all_on_node(&sys, NodeId(0));
+        run_rounds(&sys, &mut st, &SelfishUniform::new(), 50, 7);
+        st.check_invariants(&sys).unwrap();
+        let total: usize = (0..6).map(|i| st.node_task_count(NodeId(i))).sum();
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn potential_decreases_from_hot_start() {
+        let sys = System::new(
+            generators::torus(4, 4),
+            SpeedVector::uniform(16),
+            TaskSet::uniform(160),
+        )
+        .unwrap();
+        let mut st = TaskState::all_on_node(&sys, NodeId(0));
+        let before = potential::report(&sys, &st).psi0;
+        run_rounds(&sys, &mut st, &SelfishUniform::new(), 100, 3);
+        let after = potential::report(&sys, &st).psi0;
+        assert!(
+            after < before / 4.0,
+            "Ψ₀ should drop substantially: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn converges_to_nash_on_small_ring() {
+        let sys = System::new(
+            generators::ring(4),
+            SpeedVector::uniform(4),
+            TaskSet::uniform(16),
+        )
+        .unwrap();
+        let mut st = TaskState::all_on_node(&sys, NodeId(2));
+        let protocol = SelfishUniform::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut reached = false;
+        for _ in 0..5000 {
+            protocol.round(&sys, &mut st, &mut rng);
+            if equilibrium::is_nash(&sys, &st, Threshold::UnitWeight) {
+                reached = true;
+                break;
+            }
+        }
+        assert!(reached, "no Nash equilibrium within 5000 rounds");
+        st.check_invariants(&sys).unwrap();
+    }
+
+    #[test]
+    fn nash_states_are_absorbing() {
+        // In a Nash state no task satisfies the migration condition, so no
+        // round can ever move anything.
+        let sys = System::new(
+            generators::path(3),
+            SpeedVector::uniform(3),
+            TaskSet::uniform(6),
+        )
+        .unwrap();
+        let mut st = TaskState::from_assignment(&sys, &[0, 0, 1, 1, 2, 2]).unwrap();
+        assert!(equilibrium::is_nash(&sys, &st, Threshold::UnitWeight));
+        let before = st.clone();
+        let moved = run_rounds(&sys, &mut st, &SelfishUniform::new(), 200, 5);
+        assert_eq!(moved, 0);
+        assert_eq!(st, before);
+    }
+
+    #[test]
+    fn respects_speeds_direction() {
+        // Tasks should drain towards the fast machine, not away from it.
+        let sys = System::new(
+            generators::path(2),
+            SpeedVector::new(vec![1.0, 8.0]).unwrap(),
+            TaskSet::uniform(90),
+        )
+        .unwrap();
+        let mut st = TaskState::all_on_node(&sys, NodeId(0));
+        run_rounds(&sys, &mut st, &SelfishUniform::new(), 400, 9);
+        // Balanced would be (10, 80).
+        assert!(
+            st.node_task_count(NodeId(1)) > 50,
+            "fast node got only {} of 90 tasks",
+            st.node_task_count(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sys = System::new(
+            generators::hypercube(3),
+            SpeedVector::uniform(8),
+            TaskSet::uniform(64),
+        )
+        .unwrap();
+        let mut a = TaskState::all_on_node(&sys, NodeId(0));
+        let mut b = TaskState::all_on_node(&sys, NodeId(0));
+        run_rounds(&sys, &mut a, &SelfishUniform::new(), 30, 42);
+        run_rounds(&sys, &mut b, &SelfishUniform::new(), 30, 42);
+        assert_eq!(a, b);
+        let mut c = TaskState::all_on_node(&sys, NodeId(0));
+        run_rounds(&sys, &mut c, &SelfishUniform::new(), 30, 43);
+        assert_ne!(a, c, "different seeds should (a.s.) differ");
+    }
+
+    #[test]
+    fn exact_alpha_still_converges() {
+        let sys = System::new(
+            generators::path(3),
+            SpeedVector::integer(vec![1, 2, 1]).unwrap(),
+            TaskSet::uniform(12),
+        )
+        .unwrap();
+        let mut st = TaskState::all_on_node(&sys, NodeId(0));
+        let protocol = SelfishUniform::with_alpha(Alpha::Exact);
+        assert_eq!(protocol.alpha(), Alpha::Exact);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut reached = false;
+        for _ in 0..20000 {
+            protocol.round(&sys, &mut st, &mut rng);
+            if equilibrium::is_nash(&sys, &st, Threshold::UnitWeight) {
+                reached = true;
+                break;
+            }
+        }
+        assert!(reached);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(SelfishUniform::new().name(), "selfish-uniform");
+    }
+}

@@ -1,0 +1,270 @@
+//! Stress and failure-injection tests for the simulation engines: long
+//! runs, aggregate-rebuild consistency, degenerate topologies, and
+//! adversarial workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slb_core::engine::parallel::ParallelSimulation;
+use slb_core::engine::uniform_fast::{CountState, UniformFastSim};
+use slb_core::engine::{Simulation, StopCondition, StopReason};
+use slb_core::equilibrium::{self, Threshold};
+use slb_core::model::{SpeedVector, System, TaskId, TaskSet, TaskState};
+use slb_core::protocol::{Alpha, BhsBaseline, SelfishUniform, SelfishWeighted};
+use slb_graphs::{generators, NodeId};
+
+#[test]
+fn long_run_incremental_aggregates_match_rebuild() {
+    // 50k rounds of weighted churn: incremental node weights must agree
+    // with a from-scratch rebuild to floating-point tolerance.
+    let mut wrng = StdRng::seed_from_u64(1);
+    let n = 9;
+    let m = 450;
+    let weights: Vec<f64> = (0..m).map(|_| wrng.gen_range(0.01..=1.0)).collect();
+    let system = System::new(
+        generators::torus(3, 3),
+        SpeedVector::integer((0..n as u64).map(|i| 1 + i % 2).collect()).unwrap(),
+        TaskSet::weighted(weights).unwrap(),
+    )
+    .unwrap();
+    let mut sim = Simulation::new(
+        &system,
+        SelfishWeighted::new(),
+        TaskState::all_on_node(&system, NodeId(0)),
+        2,
+    );
+    sim.run(50_000);
+    let mut rebuilt = sim.state().clone();
+    rebuilt.rebuild_aggregates(&system);
+    for v in 0..n {
+        let a = sim.state().node_weight(NodeId(v));
+        let b = rebuilt.node_weight(NodeId(v));
+        assert!(
+            (a - b).abs() < 1e-7 * b.abs().max(1.0),
+            "node {v}: incremental {a} vs rebuilt {b}"
+        );
+    }
+    sim.state().check_invariants(&system).unwrap();
+}
+
+#[test]
+fn two_node_degenerate_topology() {
+    // The smallest possible network: one edge. Everything must still hold.
+    let system = System::new(
+        generators::path(2),
+        SpeedVector::integer(vec![1, 5]).unwrap(),
+        TaskSet::uniform(101),
+    )
+    .unwrap();
+    let mut sim = Simulation::new(
+        &system,
+        SelfishUniform::new(),
+        TaskState::all_on_node(&system, NodeId(0)),
+        3,
+    );
+    let o = sim.run_until(StopCondition::Nash(Threshold::UnitWeight), 200_000);
+    assert_eq!(o.reason, StopReason::ConditionMet);
+    // Nash split on speeds {1, 5}: fast node carries most of the load.
+    let fast = sim.state().node_task_count(NodeId(1));
+    assert!(fast > 70, "fast node holds only {fast} of 101");
+    sim.state().check_invariants(&system).unwrap();
+}
+
+#[test]
+fn star_hub_drains_through_bottleneck() {
+    // The star maximizes the d_ij asymmetry: hub degree n−1, leaves 1.
+    let n = 17;
+    let system = System::new(
+        generators::star(n),
+        SpeedVector::uniform(n),
+        TaskSet::uniform(16 * n),
+    )
+    .unwrap();
+    let mut sim = Simulation::new(
+        &system,
+        SelfishUniform::new(),
+        TaskState::all_on_node(&system, NodeId(0)),
+        5,
+    );
+    let o = sim.run_until(StopCondition::Nash(Threshold::UnitWeight), 500_000);
+    assert_eq!(o.reason, StopReason::ConditionMet);
+    sim.state().check_invariants(&system).unwrap();
+}
+
+#[test]
+fn heavy_tasks_on_slow_machines_unwind() {
+    // Adversarial weighted start: all the heavy tasks on the slowest node.
+    let n = 6;
+    let mut weights: Vec<f64> = vec![1.0; 30];
+    weights.extend(std::iter::repeat_n(0.05, 60));
+    let system = System::new(
+        generators::ring(n),
+        SpeedVector::integer(vec![1, 4, 4, 4, 4, 4]).unwrap(),
+        TaskSet::weighted(weights).unwrap(),
+    )
+    .unwrap();
+    // Heavy tasks (ids 0..30) on node 0 (the slow one), light spread.
+    let assignment: Vec<usize> = (0..90)
+        .map(|t| if t < 30 { 0 } else { 1 + (t % 5) })
+        .collect();
+    let initial = TaskState::from_assignment(&system, &assignment).unwrap();
+    let mut sim = Simulation::new(&system, BhsBaseline::new(), initial, 6);
+    sim.run_until(StopCondition::Quiescent(3_000), 300_000);
+    // The slow node must shed most heavy weight.
+    let slow_load = sim.state().load(&system, NodeId(0));
+    let max_load = equilibrium::makespan(&system, sim.state());
+    assert!(
+        slow_load <= max_load + 1e-9 && slow_load < 30.0 / 2.0,
+        "slow node still at load {slow_load}"
+    );
+    sim.state().check_invariants(&system).unwrap();
+}
+
+#[test]
+fn parallel_engine_survives_tiny_and_huge_chunking() {
+    let system = System::new(
+        generators::hypercube(5),
+        SpeedVector::uniform(32),
+        TaskSet::uniform(3200),
+    )
+    .unwrap();
+    for (chunk, threads) in [(1usize, 7usize), (17, 2), (100_000, 5)] {
+        let mut sim = ParallelSimulation::with_layout(
+            &system,
+            SelfishUniform::new(),
+            TaskState::all_on_node(&system, NodeId(0)),
+            9,
+            chunk,
+            threads,
+        );
+        sim.run(10);
+        sim.state().check_invariants(&system).unwrap();
+    }
+}
+
+#[test]
+fn fast_sim_extreme_imbalance_and_large_counts() {
+    // A million tasks on one node of a small ring: the binomial sampler
+    // must stay stable through the normal-approximation regime.
+    let n = 5;
+    let m = 1_000_000u64;
+    let system = System::new(
+        generators::ring(n),
+        SpeedVector::uniform(n),
+        TaskSet::uniform(m as usize),
+    )
+    .unwrap();
+    let mut sim = UniformFastSim::new(
+        &system,
+        Alpha::Approximate,
+        CountState::all_on_node(n, 0, m),
+        11,
+    );
+    for _ in 0..200 {
+        sim.step();
+    }
+    assert_eq!(sim.state().total(), m);
+    // After 200 rounds the hot node must have shed a large fraction.
+    assert!(
+        sim.state().counts()[0] < m / 2,
+        "hot node still holds {}",
+        sim.state().counts()[0]
+    );
+}
+
+#[test]
+fn protocols_are_stateless_between_runs() {
+    // Reusing one protocol value across simulations must not leak state.
+    let system = System::new(
+        generators::ring(5),
+        SpeedVector::uniform(5),
+        TaskSet::uniform(50),
+    )
+    .unwrap();
+    let protocol = SelfishUniform::new();
+    let run = |p: &SelfishUniform, seed: u64| {
+        let mut sim = Simulation::new(
+            &system,
+            *p,
+            TaskState::all_on_node(&system, NodeId(0)),
+            seed,
+        );
+        sim.run(100);
+        sim.into_state()
+    };
+    let a1 = run(&protocol, 42);
+    let _other = run(&protocol, 99);
+    let a2 = run(&protocol, 42);
+    assert_eq!(a1, a2, "protocol must be pure");
+}
+
+#[test]
+fn every_task_is_tracked_individually() {
+    // Spot-check task-level trajectories stay coherent: a task's recorded
+    // node always matches the per-node index.
+    let system = System::new(
+        generators::mesh(3, 3),
+        SpeedVector::uniform(9),
+        TaskSet::uniform(45),
+    )
+    .unwrap();
+    let mut sim = Simulation::new(
+        &system,
+        SelfishUniform::new(),
+        TaskState::all_on_node(&system, NodeId(4)),
+        13,
+    );
+    for _ in 0..50 {
+        sim.step();
+        let by_node = sim.state().tasks_by_node(&system);
+        for (node, tasks) in by_node.iter().enumerate() {
+            for t in tasks {
+                assert_eq!(sim.state().task_node(*t), NodeId(node));
+            }
+        }
+        let listed: usize = by_node.iter().map(|v| v.len()).sum();
+        assert_eq!(listed, 45);
+    }
+}
+
+#[test]
+fn quiescent_stop_does_not_false_trigger_mid_balancing() {
+    // With a hot start and plenty of imbalance, 5 consecutive quiet rounds
+    // must not occur before real convergence on this instance.
+    let system = System::new(
+        generators::ring(6),
+        SpeedVector::uniform(6),
+        TaskSet::uniform(600),
+    )
+    .unwrap();
+    let mut sim = Simulation::new(
+        &system,
+        SelfishUniform::new(),
+        TaskState::all_on_node(&system, NodeId(0)),
+        17,
+    );
+    let o = sim.run_until(StopCondition::Quiescent(5), 100_000);
+    assert_eq!(o.reason, StopReason::ConditionMet);
+    // At quiescence the state is (at least nearly) a Nash equilibrium:
+    // adjacent load gaps within 2 of the threshold.
+    let gap = equilibrium::nash_gap(&system, sim.state(), Threshold::UnitWeight);
+    assert!(gap < 0.05, "quiesced far from equilibrium (gap {gap})");
+}
+
+#[test]
+fn single_task_instance() {
+    let system = System::new(
+        generators::ring(4),
+        SpeedVector::uniform(4),
+        TaskSet::uniform(1),
+    )
+    .unwrap();
+    let mut sim = Simulation::new(
+        &system,
+        SelfishUniform::new(),
+        TaskState::all_on_node(&system, NodeId(2)),
+        19,
+    );
+    let o = sim.run_until(StopCondition::Nash(Threshold::UnitWeight), 100);
+    assert_eq!(o.rounds, 0, "one task anywhere is already a NE");
+    assert_eq!(sim.state().task_node(TaskId(0)), NodeId(2));
+}

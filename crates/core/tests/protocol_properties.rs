@@ -1,0 +1,232 @@
+//! Property-based tests of the protocol layer: migration probabilities,
+//! snapshot semantics, and distributional identities, on randomized
+//! instances.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slb_core::engine::uniform_fast::{CountState, UniformFastSim};
+use slb_core::model::{SpeedVector, System, TaskSet, TaskState};
+use slb_core::protocol::{
+    expected_flow, migration_probability, Alpha, Protocol, SelfishUniform, SelfishWeighted,
+    Snapshot, TaskProtocol,
+};
+use slb_graphs::{generators, NodeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `p_ij ∈ [0, 1/4]` over the full legal parameter space (the paper's
+    /// damping guarantee).
+    #[test]
+    fn migration_probability_in_quarter(
+        deg_i in 1usize..64,
+        extra in 0usize..64,
+        s_i in 1.0f64..16.0,
+        s_j in 1.0f64..16.0,
+        w_i in 0.1f64..1e6,
+        gap_frac in 0.0f64..1.0,
+        alpha_mult in 1.0f64..8.0,
+    ) {
+        let d_ij = deg_i + extra;
+        // Legal gap: ℓ_i − ℓ_j ≤ ℓ_i ≤ W_i/s_i.
+        let load_i = w_i / s_i;
+        let load_j = load_i * (1.0 - gap_frac);
+        let s_max = s_i.max(s_j);
+        let alpha = 4.0 * s_max * alpha_mult;
+        let p = migration_probability(deg_i, d_ij, load_i, load_j, s_i, s_j, w_i, alpha);
+        prop_assert!(p >= 0.0);
+        prop_assert!(p <= 0.25 + 1e-12, "p = {p}");
+    }
+
+    /// The flow identity `f_ij = W_i/deg(i) · p_ij` (Definition 3.1) over
+    /// random legal parameters whenever the migration condition is met.
+    #[test]
+    fn flow_probability_identity(
+        deg_i in 1usize..32,
+        extra in 0usize..32,
+        s_i in 1.0f64..8.0,
+        s_j in 1.0f64..8.0,
+        w_i in 1.0f64..1e4,
+        load_j_frac in 0.0f64..0.5,
+    ) {
+        let d_ij = deg_i + extra;
+        let load_i = w_i / s_i;
+        let load_j = load_i * load_j_frac;
+        let alpha = 4.0 * s_i.max(s_j);
+        if load_i - load_j > 1.0 / s_j {
+            let p = migration_probability(deg_i, d_ij, load_i, load_j, s_i, s_j, w_i, alpha);
+            let f = expected_flow(d_ij, load_i, load_j, s_i, s_j, alpha);
+            let reconstructed = w_i / deg_i as f64 * p;
+            prop_assert!((f - reconstructed).abs() < 1e-9 * (1.0 + f.abs()));
+        }
+    }
+
+    /// Snapshot semantics: decisions never depend on moves committed in
+    /// the same round — decide() over the full range equals decide() over
+    /// split ranges with the same per-range RNG streams re-seeded.
+    #[test]
+    fn decide_is_range_local(
+        n in 3usize..8,
+        tasks_per_node in 1usize..10,
+        seed in 0u64..200,
+        split_at_frac in 0.1f64..0.9,
+    ) {
+        let graph = generators::ring(n);
+        let m = n * tasks_per_node;
+        let system = System::new(graph, SpeedVector::uniform(n), TaskSet::uniform(m)).unwrap();
+        let state = TaskState::all_on_node(&system, NodeId(0));
+        let snapshot = Snapshot::capture(&system, &state);
+        let protocol = SelfishUniform::new();
+        let split = ((m as f64 * split_at_frac) as usize).clamp(1, m - 1);
+
+        // Split decision with independent RNGs per range.
+        let mut split_moves = Vec::new();
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        protocol.decide(&system, &snapshot, &state, 0..split, &mut rng_a, &mut split_moves);
+        let before_second = split_moves.len();
+        let mut rng_b = StdRng::seed_from_u64(seed ^ 0xdead);
+        protocol.decide(&system, &snapshot, &state, split..m, &mut rng_b, &mut split_moves);
+
+        // Every move's task lies in its range: range locality.
+        for (i, mv) in split_moves.iter().enumerate() {
+            if i < before_second {
+                prop_assert!(mv.task.index() < split);
+            } else {
+                prop_assert!(mv.task.index() >= split);
+            }
+        }
+        // And all moves target neighbors of the hot node.
+        for mv in &split_moves {
+            prop_assert!(system.graph().has_edge(NodeId(0), mv.to));
+        }
+    }
+
+    /// One committed round never moves a task more than one hop.
+    #[test]
+    fn rounds_move_tasks_at_most_one_hop(
+        n in 4usize..10,
+        seed in 0u64..300,
+    ) {
+        let graph = generators::ring(n);
+        let m = 10 * n;
+        let system = System::new(graph, SpeedVector::uniform(n), TaskSet::uniform(m)).unwrap();
+        let mut state = TaskState::all_on_node(&system, NodeId(0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let protocol = SelfishUniform::new();
+        for _ in 0..20 {
+            let before: Vec<NodeId> = (0..m).map(|t| state.task_node(slb_core::model::TaskId(t))).collect();
+            protocol.round(&system, &mut state, &mut rng);
+            for (t, prev) in before.iter().enumerate() {
+                let now = state.task_node(slb_core::model::TaskId(t));
+                prop_assert!(
+                    now == *prev || system.graph().has_edge(*prev, now),
+                    "task {t} jumped {prev} → {now}"
+                );
+            }
+        }
+    }
+
+    /// Weighted protocol: migrations only ever flow "downhill" (source
+    /// load strictly above destination load at round start).
+    #[test]
+    fn weighted_moves_are_downhill(
+        seed in 0u64..300,
+        tasks_per_node in 2usize..12,
+    ) {
+        let graph = generators::torus(3, 3);
+        let n = graph.node_count();
+        let m = n * tasks_per_node;
+        let mut wrng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let weights: Vec<f64> = (0..m).map(|_| wrng.gen_range(0.05..=1.0)).collect();
+        let system = System::new(
+            graph,
+            SpeedVector::integer((0..n as u64).map(|i| 1 + i % 3).collect()).unwrap(),
+            TaskSet::weighted(weights).unwrap(),
+        ).unwrap();
+        let state = TaskState::all_on_node(&system, NodeId(0));
+        let snapshot = Snapshot::capture(&system, &state);
+        let mut moves = Vec::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 77);
+        SelfishWeighted::new().decide(&system, &snapshot, &state, 0..m, &mut rng, &mut moves);
+        for mv in &moves {
+            let from = state.task_node(mv.task);
+            prop_assert!(
+                snapshot.loads[from.index()] > snapshot.loads[mv.to.index()],
+                "move from load {} to {}",
+                snapshot.loads[from.index()],
+                snapshot.loads[mv.to.index()]
+            );
+        }
+    }
+
+    /// The fast count-based path conserves tasks under arbitrary initial
+    /// count distributions (not just the hot start).
+    #[test]
+    fn fast_path_conserves_arbitrary_states(
+        counts in proptest::collection::vec(0u64..200, 4..12),
+        seed in 0u64..200,
+    ) {
+        let n = counts.len();
+        let total: u64 = counts.iter().sum();
+        prop_assume!(total > 0);
+        let graph = generators::ring(n.max(3).min(n)); // ring needs ≥ 3
+        prop_assume!(n >= 3);
+        let system = System::new(
+            graph,
+            SpeedVector::uniform(n),
+            TaskSet::uniform(total as usize),
+        ).unwrap();
+        let mut sim = UniformFastSim::new(
+            &system,
+            Alpha::Approximate,
+            CountState::new(counts),
+            seed,
+        );
+        for _ in 0..30 {
+            sim.step();
+        }
+        prop_assert_eq!(sim.state().total(), total);
+    }
+}
+
+/// Deterministic distributional check (not proptest — fixed statistics):
+/// the per-destination expected counts of the fast path match the
+/// expected flows on an asymmetric instance with speeds.
+#[test]
+fn fast_path_per_edge_flow_matches_definition() {
+    let graph = generators::star(5);
+    let n = graph.node_count();
+    let m = 500u64;
+    let speeds = SpeedVector::integer(vec![1, 2, 2, 1, 1]).unwrap();
+    let system = System::new(graph, speeds, TaskSet::uniform(m as usize)).unwrap();
+    // All tasks on the hub (node 0), which has degree 4.
+    let trials = 2000u64;
+    let mut to_node = vec![0u64; n];
+    for seed in 0..trials {
+        let mut sim = UniformFastSim::new(
+            &system,
+            Alpha::Approximate,
+            CountState::all_on_node(n, 0, m),
+            seed,
+        );
+        sim.step();
+        for (v, slot) in to_node.iter_mut().enumerate().skip(1) {
+            *slot += sim.state().counts()[v];
+        }
+    }
+    // Expected flow hub → leaf j: (ℓ_0 − ℓ_j)/(α·d_0j·(1/s_0 + 1/s_j)).
+    let alpha = 4.0 * 2.0;
+    let load0 = m as f64 / 1.0;
+    for (v, &count) in to_node.iter().enumerate().skip(1) {
+        let s_j = system.speeds().speed(v);
+        let f = expected_flow(4, load0, 0.0, 1.0, s_j, alpha);
+        let empirical = count as f64 / trials as f64;
+        let rel = (empirical - f).abs() / f;
+        assert!(
+            rel < 0.05,
+            "leaf {v}: empirical {empirical} vs f {f} (rel {rel})"
+        );
+    }
+}

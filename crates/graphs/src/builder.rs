@@ -1,0 +1,132 @@
+//! Incremental construction of [`Graph`]s.
+
+use crate::{Graph, GraphError};
+
+/// Incremental builder for [`Graph`].
+///
+/// The builder tolerates edges being added in any order and with endpoints
+/// in either orientation; validation (range checks, self loops, duplicates)
+/// happens in [`GraphBuilder::build`].
+///
+/// # Example
+///
+/// ```
+/// use slb_graphs::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3);
+/// let g = b.build()?;
+/// assert_eq!(g.edge_count(), 3);
+/// # Ok::<(), slb_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes and no edges yet.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            node_count: n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with capacity for `m` edges.
+    pub fn with_edge_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            node_count: n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges added so far (before deduplication checks).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge `{a, b}`; chainable.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> &mut Self {
+        self.edges.push((a, b));
+        self
+    }
+
+    /// Adds an edge only if it is not a self loop and was not added before.
+    ///
+    /// This is an O(edges) scan and intended for randomized generators that
+    /// may propose duplicates; for bulk construction prefer `add_edge` with
+    /// a collision-free scheme.
+    pub fn add_edge_dedup(&mut self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        let key = (a.min(b), a.max(b));
+        if self.edges.iter().any(|&(x, y)| (x.min(y), x.max(y)) == key) {
+            return false;
+        }
+        self.edges.push(key);
+        true
+    }
+
+    /// Extends with many edges at once.
+    pub fn extend_edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, iter: I) -> &mut Self {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`GraphError`] from validation.
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        Graph::from_edges(self.node_count, self.edges.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chained_construction() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(b.node_count(), 3);
+        assert_eq!(b.edge_count(), 2);
+    }
+
+    #[test]
+    fn dedup_rejects_duplicates_and_loops() {
+        let mut b = GraphBuilder::with_edge_capacity(4, 4);
+        assert!(b.add_edge_dedup(0, 1));
+        assert!(!b.add_edge_dedup(1, 0));
+        assert!(!b.add_edge_dedup(2, 2));
+        assert!(b.add_edge_dedup(2, 3));
+        assert_eq!(b.build().unwrap().edge_count(), 2);
+    }
+
+    #[test]
+    fn build_propagates_errors() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn extend_edges_bulk() {
+        let mut b = GraphBuilder::new(5);
+        b.extend_edges((0..4).map(|i| (i, i + 1)));
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 4);
+    }
+}

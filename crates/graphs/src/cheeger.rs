@@ -1,0 +1,187 @@
+//! The isoperimetric number (Cheeger constant) of a graph.
+//!
+//! Definition 1.9 of the paper: `i(G) = min_{S ⊂ V, |S| ≤ |V|/2} |δS|/|S|`
+//! where `δS` is the set of edges leaving `S`. Mohar's Lemma 1.10 sandwiches
+//! the algebraic connectivity: `i(G)²/(2Δ) ≤ λ₂ ≤ 2·i(G)`; the spectral
+//! crate's tests verify that inequality using this module.
+//!
+//! The exact computation enumerates all `2^(n-1) − 1` candidate subsets and
+//! is limited to small graphs; the spectral crate offers a Fiedler-vector
+//! sweep cut as a scalable upper bound.
+
+use crate::{Graph, NodeId};
+
+/// Largest node count accepted by [`isoperimetric_number`].
+pub const EXACT_LIMIT: usize = 24;
+
+/// The number of edges with exactly one endpoint in the subset described by
+/// `mask` (bit `v` set ⇔ node `v ∈ S`).
+pub fn boundary_size(g: &Graph, mask: u64) -> usize {
+    g.edges()
+        .iter()
+        .filter(|(a, b)| ((mask >> a.index()) & 1) != ((mask >> b.index()) & 1))
+        .count()
+}
+
+/// The exact isoperimetric number `i(G)` by exhaustive subset enumeration,
+/// together with one optimal subset (as a bitmask).
+///
+/// # Panics
+///
+/// Panics if `g` has more than [`EXACT_LIMIT`] nodes (the enumeration is
+/// `O(2^n · m)`), or fewer than 2 nodes (no nonempty strict subset with
+/// `|S| ≤ n/2` exists).
+///
+/// # Example
+///
+/// ```
+/// use slb_graphs::{generators, cheeger};
+/// // For K_n, every |S| = floor(n/2) cut gives i = ceil(n/2).
+/// let g = generators::complete(6);
+/// let (i, _) = cheeger::isoperimetric_number(&g);
+/// assert_eq!(i, 3.0);
+/// ```
+pub fn isoperimetric_number(g: &Graph) -> (f64, u64) {
+    let n = g.node_count();
+    assert!(n >= 2, "isoperimetric number needs at least two nodes");
+    assert!(
+        n <= EXACT_LIMIT,
+        "exact isoperimetric number limited to {EXACT_LIMIT} nodes, got {n}"
+    );
+    let half = n / 2;
+    let mut best = f64::INFINITY;
+    let mut best_mask = 0u64;
+    // Fix node 0 outside S to halve the enumeration (complement symmetry
+    // would double-count; the |S| ≤ n/2 constraint is checked explicitly).
+    for mask in 1u64..(1u64 << (n - 1)) {
+        let mask = mask << 1; // node 0 excluded
+        let size = mask.count_ones() as usize;
+        if size == 0 || size > half {
+            continue;
+        }
+        let ratio = boundary_size(g, mask) as f64 / size as f64;
+        if ratio < best {
+            best = ratio;
+            best_mask = mask;
+        }
+    }
+    // Subsets containing node 0: enumerate complements of the above — i.e.
+    // masks over nodes 1..n whose complement has size ≤ n/2.
+    for mask in 0u64..(1u64 << (n - 1)) {
+        let mask = (mask << 1) | 1; // node 0 included
+        let size = mask.count_ones() as usize;
+        if size > half {
+            continue;
+        }
+        let ratio = boundary_size(g, mask) as f64 / size as f64;
+        if ratio < best {
+            best = ratio;
+            best_mask = mask;
+        }
+    }
+    (best, best_mask)
+}
+
+/// The quotient `|δS|/|S|` of an explicit node subset.
+///
+/// # Panics
+///
+/// Panics if `subset` is empty or contains more than `n/2` nodes or an
+/// out-of-range node.
+pub fn subset_expansion(g: &Graph, subset: &[NodeId]) -> f64 {
+    assert!(!subset.is_empty(), "subset must be nonempty");
+    assert!(
+        subset.len() <= g.node_count() / 2,
+        "subset must have at most n/2 nodes"
+    );
+    let mut inside = vec![false; g.node_count()];
+    for v in subset {
+        assert!(v.index() < g.node_count(), "subset node out of range");
+        inside[v.index()] = true;
+    }
+    let boundary = g
+        .edges()
+        .iter()
+        .filter(|(a, b)| inside[a.index()] != inside[b.index()])
+        .count();
+    boundary as f64 / subset.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn complete_graph_cheeger() {
+        // i(K_n) = ceil(n/2): |S| = floor(n/2) gives |δS| = |S|·(n−|S|).
+        for n in 2..=8 {
+            let g = generators::complete(n);
+            let (i, _) = isoperimetric_number(&g);
+            let expected = (n - n / 2) as f64;
+            assert!((i - expected).abs() < 1e-12, "n={n}: {i} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn ring_cheeger() {
+        // Cutting an arc of length n/2 gives 2/(n/2).
+        let g = generators::ring(8);
+        let (i, mask) = isoperimetric_number(&g);
+        assert!((i - 2.0 / 4.0).abs() < 1e-12);
+        assert!(mask.count_ones() <= 4);
+    }
+
+    #[test]
+    fn path_cheeger() {
+        // Cutting the path in half gives 1/(n/2).
+        let g = generators::path(6);
+        let (i, _) = isoperimetric_number(&g);
+        assert!((i - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_cheeger() {
+        // Any leaf set S (not containing the hub) has |δS| = |S| ⇒ i = 1.
+        let g = generators::star(7);
+        let (i, _) = isoperimetric_number(&g);
+        assert!((i - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barbell_has_small_cheeger() {
+        let g = generators::barbell(5, 0);
+        let (i, mask) = isoperimetric_number(&g);
+        // Cutting one clique off crosses exactly the single bridge edge.
+        assert!((i - 1.0 / 5.0).abs() < 1e-12);
+        assert_eq!(mask.count_ones(), 5);
+    }
+
+    #[test]
+    fn boundary_of_half_ring() {
+        let g = generators::ring(6);
+        // S = {0, 1, 2} ⇒ boundary edges {2,3} and {5,0}.
+        assert_eq!(boundary_size(&g, 0b000111), 2);
+    }
+
+    #[test]
+    fn subset_expansion_matches_enumeration() {
+        let g = generators::ring(8);
+        let quotient = subset_expansion(&g, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert!((quotient - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact isoperimetric number limited")]
+    fn too_large_panics() {
+        let g = generators::ring(EXACT_LIMIT + 1);
+        let _ = isoperimetric_number(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "subset must have at most n/2 nodes")]
+    fn oversized_subset_panics() {
+        let g = generators::ring(4);
+        let _ = subset_expansion(&g, &[NodeId(0), NodeId(1), NodeId(2)]);
+    }
+}

@@ -1,0 +1,593 @@
+//! Generators for the graph families of the paper and auxiliary families.
+//!
+//! Table 1 of the paper reports convergence bounds for the complete graph,
+//! ring & path, mesh & torus, and the hypercube; those generators are the
+//! load-bearing ones here. The remaining families (star, trees, random
+//! graphs, …) are used by the test suite, the Cheeger-constant experiments,
+//! and as adversarial topologies in the examples.
+//!
+//! All generators return connected simple graphs and panic on degenerate
+//! parameters (documented per function), mirroring the convention of
+//! constructing experiment topologies up front where a panic is a
+//! configuration bug rather than a runtime condition.
+
+use crate::{Graph, GraphBuilder};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The complete graph `K_n`: every pair of distinct nodes is adjacent.
+///
+/// Row 1 of Table 1. `λ₂(K_n) = n`, `Δ = n − 1`, `diam = 1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n > 0, "complete graph needs at least one node");
+    let mut b = GraphBuilder::with_edge_capacity(n, n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i, j);
+        }
+    }
+    b.build().expect("complete graph construction is valid")
+}
+
+/// The path `P_n` on `n` nodes (`n − 1` edges).
+///
+/// Row 2 of Table 1 (with the ring). `λ₂(P_n) = 2(1 − cos(π/n))`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n > 0, "path needs at least one node");
+    let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        b.add_edge(i - 1, i);
+    }
+    b.build().expect("path construction is valid")
+}
+
+/// The ring (cycle) `C_n` on `n ≥ 3` nodes.
+///
+/// Row 2 of Table 1. `λ₂(C_n) = 2(1 − cos(2π/n))`.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (smaller cycles degenerate to multi-edges).
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "ring needs at least three nodes");
+    let mut b = GraphBuilder::with_edge_capacity(n, n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n);
+    }
+    b.build().expect("ring construction is valid")
+}
+
+/// The `rows × cols` mesh (2-dimensional grid) with open boundaries.
+///
+/// Row 3 of Table 1 (with the torus). The mesh is the Cartesian product
+/// `P_rows □ P_cols`, so `λ₂ = min(λ₂(P_rows), λ₂(P_cols))`.
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+pub fn mesh(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "mesh needs positive dimensions");
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::with_edge_capacity(rows * cols, 2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    b.build().expect("mesh construction is valid")
+}
+
+/// The `rows × cols` torus (grid with wrap-around links).
+///
+/// Row 3 of Table 1. Cartesian product `C_rows □ C_cols`; 4-regular for
+/// `rows, cols ≥ 3`.
+///
+/// # Panics
+///
+/// Panics if `rows < 3 || cols < 3` (wrap-around would create duplicate
+/// edges).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus needs both dimensions at least 3"
+    );
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::with_edge_capacity(rows * cols, 2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(idx(r, c), idx(r, (c + 1) % cols));
+            b.add_edge(idx(r, c), idx((r + 1) % rows, c));
+        }
+    }
+    b.build().expect("torus construction is valid")
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` nodes.
+///
+/// Row 4 of Table 1. `λ₂(Q_d) = 2`, `Δ = d = log₂ n`, `diam = d`.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `d > 30`.
+pub fn hypercube(d: u32) -> Graph {
+    assert!(d > 0, "hypercube needs dimension at least 1");
+    assert!(d <= 30, "hypercube dimension too large");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::with_edge_capacity(n, n * d as usize / 2);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1usize << bit);
+            if v < u {
+                b.add_edge(v, u);
+            }
+        }
+    }
+    b.build().expect("hypercube construction is valid")
+}
+
+/// The star `S_n`: node 0 is adjacent to all `n − 1` leaves.
+///
+/// `λ₂(S_n) = 1`; the extreme-degree graph used in tests of `d_ij`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Graph {
+    assert!(n > 0, "star needs at least one node");
+    let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        b.add_edge(0, i);
+    }
+    b.build().expect("star construction is valid")
+}
+
+/// The complete bipartite graph `K_{a,b}`.
+///
+/// `λ₂(K_{a,b}) = min(a, b)`.
+///
+/// # Panics
+///
+/// Panics if `a == 0 || b == 0`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    assert!(
+        a > 0 && b > 0,
+        "complete bipartite needs both sides nonempty"
+    );
+    let mut builder = GraphBuilder::with_edge_capacity(a + b, a * b);
+    for i in 0..a {
+        for j in 0..b {
+            builder.add_edge(i, a + j);
+        }
+    }
+    builder
+        .build()
+        .expect("complete bipartite construction is valid")
+}
+
+/// A complete binary tree with `n` nodes (heap layout: node `i` has children
+/// `2i + 1`, `2i + 2`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn binary_tree(n: usize) -> Graph {
+    assert!(n > 0, "binary tree needs at least one node");
+    let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        b.add_edge(i, (i - 1) / 2);
+    }
+    b.build().expect("binary tree construction is valid")
+}
+
+/// The wheel `W_n`: a ring of `n − 1` nodes plus a hub adjacent to all.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel needs at least four nodes");
+    let rim = n - 1;
+    let mut b = GraphBuilder::with_edge_capacity(n, 2 * rim);
+    for i in 0..rim {
+        b.add_edge(1 + i, 1 + (i + 1) % rim);
+        b.add_edge(0, 1 + i);
+    }
+    b.build().expect("wheel construction is valid")
+}
+
+/// Two cliques of size `k` joined by a path of `bridge` intermediate nodes
+/// (a "barbell"): the classic low-conductance topology for Cheeger-constant
+/// experiments.
+///
+/// Total nodes: `2k + bridge`.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 2, "barbell cliques need at least two nodes each");
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::with_edge_capacity(n, k * (k - 1) + bridge + 1);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            b.add_edge(i, j);
+            b.add_edge(k + bridge + i, k + bridge + j);
+        }
+    }
+    // Chain: clique A node k-1 -> bridge nodes -> clique B node k+bridge.
+    let mut prev = k - 1;
+    for t in 0..bridge {
+        b.add_edge(prev, k + t);
+        prev = k + t;
+    }
+    b.add_edge(prev, k + bridge);
+    b.build().expect("barbell construction is valid")
+}
+
+/// Erdős–Rényi `G(n, p)` conditioned on connectivity: edges are sampled
+/// i.i.d. with probability `p`, and a uniform spanning-path patch connects
+/// stray components so experiments always get a usable network.
+///
+/// The patching means the result is *not* exactly `G(n, p)`; it is the
+/// standard "connected `G(n, p)`" testbed topology.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `p` is not in `[0, 1]`.
+pub fn gnp_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!(n > 0, "gnp needs at least one node");
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(i, j);
+            }
+        }
+    }
+    let g = b.build().expect("gnp construction is valid");
+    if g.is_connected() {
+        return g;
+    }
+    // Patch: connect consecutive components with one random edge each.
+    let labels = crate::traversal::component_labels(&g);
+    let component_count = labels.iter().copied().max().map_or(1, |m| m + 1);
+    let mut representatives: Vec<Vec<usize>> = vec![Vec::new(); component_count];
+    for (v, &c) in labels.iter().enumerate() {
+        representatives[c].push(v);
+    }
+    for w in 0..component_count.saturating_sub(1) {
+        let a = *representatives[w]
+            .choose(rng)
+            .expect("components are nonempty");
+        let bnode = *representatives[w + 1]
+            .choose(rng)
+            .expect("components are nonempty");
+        b.add_edge_dedup(a, bnode);
+    }
+    let g = b.build().expect("patched gnp construction is valid");
+    debug_assert!(g.is_connected());
+    g
+}
+
+/// A random `d`-regular graph via the configuration model with rejection
+/// (retry until simple), then conditioned on connectivity.
+///
+/// Random regular graphs are expanders with high probability, so this is the
+/// "good `λ₂`" family for experiments beyond Table 1.
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd, `d >= n`, or `d == 0`.
+pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(d > 0, "degree must be positive");
+    assert!(d < n, "degree must be smaller than node count");
+    assert!((n * d).is_multiple_of(2), "n * d must be even");
+    'attempt: for _ in 0..1000 {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(rng);
+        let mut b = GraphBuilder::with_edge_capacity(n, n * d / 2);
+        let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
+        for pair in stubs.chunks_exact(2) {
+            let (a, c) = (pair[0], pair[1]);
+            if a == c {
+                continue 'attempt;
+            }
+            if !seen.insert((a.min(c), a.max(c))) {
+                continue 'attempt;
+            }
+            b.add_edge(a, c);
+        }
+        let g = b
+            .build()
+            .expect("configuration model produced simple graph");
+        if g.is_connected() {
+            return g;
+        }
+    }
+    panic!("failed to sample a connected {d}-regular graph on {n} nodes after 1000 attempts");
+}
+
+/// Enumeration of the named topology families used throughout the
+/// experiment harness, carrying their size parameters.
+///
+/// This mirrors the rows of Table 1 and lets experiment configuration be
+/// data rather than code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// `K_n`.
+    Complete {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Cycle `C_n`.
+    Ring {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Path `P_n`.
+    Path {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Open grid.
+    Mesh {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Wrap-around grid.
+    Torus {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// `Q_d` on `2^d` nodes.
+    Hypercube {
+        /// Dimension.
+        d: u32,
+    },
+    /// Star `S_n`.
+    Star {
+        /// Number of nodes.
+        n: usize,
+    },
+}
+
+impl Family {
+    /// Instantiates the family as a [`Graph`].
+    pub fn build(self) -> Graph {
+        match self {
+            Family::Complete { n } => complete(n),
+            Family::Ring { n } => ring(n),
+            Family::Path { n } => path(n),
+            Family::Mesh { rows, cols } => mesh(rows, cols),
+            Family::Torus { rows, cols } => torus(rows, cols),
+            Family::Hypercube { d } => hypercube(d),
+            Family::Star { n } => star(n),
+        }
+    }
+
+    /// Number of nodes the instantiated graph will have.
+    pub fn node_count(self) -> usize {
+        match self {
+            Family::Complete { n }
+            | Family::Ring { n }
+            | Family::Path { n }
+            | Family::Star { n } => n,
+            Family::Mesh { rows, cols } | Family::Torus { rows, cols } => rows * cols,
+            Family::Hypercube { d } => 1usize << d,
+        }
+    }
+
+    /// A short lowercase label for tables and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Complete { .. } => "complete",
+            Family::Ring { .. } => "ring",
+            Family::Path { .. } => "path",
+            Family::Mesh { .. } => "mesh",
+            Family::Torus { .. } => "torus",
+            Family::Hypercube { .. } => "hypercube",
+            Family::Star { .. } => "star",
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Family::Complete { n } => write!(f, "complete(n={n})"),
+            Family::Ring { n } => write!(f, "ring(n={n})"),
+            Family::Path { n } => write!(f, "path(n={n})"),
+            Family::Mesh { rows, cols } => write!(f, "mesh({rows}x{cols})"),
+            Family::Torus { rows, cols } => write!(f, "torus({rows}x{cols})"),
+            Family::Hypercube { d } => write!(f, "hypercube(d={d})"),
+            Family::Star { n } => write!(f, "star(n={n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.regularity(), Some(5));
+        assert_eq!(traversal::diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn complete_k1_and_k2() {
+        assert_eq!(complete(1).edge_count(), 0);
+        let k2 = complete(2);
+        assert_eq!(k2.edge_count(), 1);
+        assert!(k2.is_connected());
+    }
+
+    #[test]
+    fn path_counts() {
+        let g = path(7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 1);
+        assert_eq!(traversal::diameter(&g), Some(6));
+    }
+
+    #[test]
+    fn ring_counts() {
+        let g = ring(8);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.regularity(), Some(2));
+        assert_eq!(traversal::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn mesh_counts() {
+        let g = mesh(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // Edges: 3 rows x 3 horizontal + 2 x 4 vertical = 9 + 8 = 17.
+        assert_eq!(g.edge_count(), 17);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.min_degree(), 2);
+        assert_eq!(traversal::diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn mesh_single_row_is_path() {
+        let g = mesh(1, 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn torus_counts() {
+        let g = torus(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 40);
+        assert_eq!(g.regularity(), Some(4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn hypercube_counts() {
+        let g = hypercube(5);
+        assert_eq!(g.node_count(), 32);
+        assert_eq!(g.edge_count(), 32 * 5 / 2);
+        assert_eq!(g.regularity(), Some(5));
+        assert_eq!(traversal::diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star(9);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.max_degree(), 8);
+        assert_eq!(traversal::diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(traversal::diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn binary_tree_counts() {
+        let g = binary_tree(15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn wheel_counts() {
+        let g = wheel(7);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.max_degree(), 6);
+        assert_eq!(g.min_degree(), 3);
+    }
+
+    #[test]
+    fn barbell_counts() {
+        let g = barbell(4, 2);
+        assert_eq!(g.node_count(), 10);
+        // 2 * C(4,2) + 3 bridge-chain edges.
+        assert_eq!(g.edge_count(), 2 * 6 + 3);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn barbell_without_bridge_nodes() {
+        let g = barbell(3, 0);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 7);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn gnp_is_connected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for p in [0.01, 0.1, 0.5] {
+            let g = gnp_connected(40, p, &mut rng);
+            assert_eq!(g.node_count(), 40);
+            assert!(g.is_connected(), "p={p}");
+        }
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_connected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = random_regular(24, 4, &mut rng);
+        assert_eq!(g.regularity(), Some(4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn family_roundtrip() {
+        let fam = Family::Hypercube { d: 3 };
+        assert_eq!(fam.node_count(), 8);
+        assert_eq!(fam.build().node_count(), 8);
+        assert_eq!(fam.label(), "hypercube");
+        assert_eq!(fam.to_string(), "hypercube(d=3)");
+        assert_eq!(Family::Mesh { rows: 4, cols: 8 }.node_count(), 32);
+        assert_eq!(Family::Torus { rows: 4, cols: 8 }.label(), "torus");
+    }
+
+    #[test]
+    #[should_panic(expected = "ring needs at least three nodes")]
+    fn ring_too_small_panics() {
+        ring(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "torus needs both dimensions at least 3")]
+    fn torus_too_small_panics() {
+        torus(2, 5);
+    }
+}

@@ -1,0 +1,216 @@
+//! Plain-text import/export of graphs (edge lists and Graphviz DOT).
+//!
+//! The experiment harness writes topologies next to its CSV results so a
+//! run can be reconstructed exactly; the DOT output exists for eyeballing
+//! small networks while debugging protocols.
+
+use crate::{Graph, GraphError};
+use std::fmt::Write as _;
+
+/// Serializes a graph as a whitespace edge list: first line `n m`, then one
+/// `i j` line per undirected edge (with `i < j`).
+///
+/// # Example
+///
+/// ```
+/// use slb_graphs::{generators, io};
+/// let g = generators::path(3);
+/// assert_eq!(io::to_edge_list(&g), "3 2\n0 1\n1 2\n");
+/// ```
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}", g.node_count(), g.edge_count());
+    for (a, b) in g.edges() {
+        let _ = writeln!(out, "{} {}", a.index(), b.index());
+    }
+    out
+}
+
+/// Errors from [`from_edge_list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseEdgeListError {
+    /// The header line `n m` was missing or malformed.
+    BadHeader,
+    /// An edge line did not contain two integers.
+    BadEdgeLine {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
+    /// The number of edge lines did not match the header.
+    EdgeCountMismatch {
+        /// Edges promised by the header.
+        expected: usize,
+        /// Edge lines actually present.
+        found: usize,
+    },
+    /// Graph validation failed.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for ParseEdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseEdgeListError::BadHeader => write!(f, "missing or malformed `n m` header line"),
+            ParseEdgeListError::BadEdgeLine { line } => {
+                write!(f, "malformed edge on line {line}")
+            }
+            ParseEdgeListError::EdgeCountMismatch { expected, found } => {
+                write!(f, "header promised {expected} edges but found {found}")
+            }
+            ParseEdgeListError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseEdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseEdgeListError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ParseEdgeListError {
+    fn from(e: GraphError) -> Self {
+        ParseEdgeListError::Graph(e)
+    }
+}
+
+/// Parses the format written by [`to_edge_list`]. Blank lines and lines
+/// starting with `#` are ignored.
+///
+/// # Errors
+///
+/// Returns [`ParseEdgeListError`] on malformed input or invalid graphs.
+pub fn from_edge_list(text: &str) -> Result<Graph, ParseEdgeListError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let (_, header) = lines.next().ok_or(ParseEdgeListError::BadHeader)?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(ParseEdgeListError::BadHeader)?;
+    let m: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(ParseEdgeListError::BadHeader)?;
+    if parts.next().is_some() {
+        return Err(ParseEdgeListError::BadHeader);
+    }
+    let mut edges = Vec::with_capacity(m);
+    for (line, text) in lines {
+        let mut parts = text.split_whitespace();
+        let a: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParseEdgeListError::BadEdgeLine { line })?;
+        let b: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParseEdgeListError::BadEdgeLine { line })?;
+        if parts.next().is_some() {
+            return Err(ParseEdgeListError::BadEdgeLine { line });
+        }
+        edges.push((a, b));
+    }
+    if edges.len() != m {
+        return Err(ParseEdgeListError::EdgeCountMismatch {
+            expected: m,
+            found: edges.len(),
+        });
+    }
+    Ok(Graph::from_edges(n, edges)?)
+}
+
+/// Serializes a graph in Graphviz DOT syntax (`graph G { ... }`).
+pub fn to_dot(g: &Graph) -> String {
+    let mut out = String::from("graph G {\n");
+    for v in g.nodes() {
+        let _ = writeln!(out, "  {};", v.index());
+    }
+    for (a, b) in g.edges() {
+        let _ = writeln!(out, "  {} -- {};", a.index(), b.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        for g in [
+            generators::complete(5),
+            generators::hypercube(3),
+            generators::torus(3, 4),
+        ] {
+            let text = to_edge_list(&g);
+            let back = from_edge_list(&text).unwrap();
+            assert_eq!(g, back);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a triangle\n3 3\n\n0 1\n# middle\n1 2\n0 2\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(from_edge_list(""), Err(ParseEdgeListError::BadHeader));
+        assert_eq!(from_edge_list("x y\n"), Err(ParseEdgeListError::BadHeader));
+        assert_eq!(
+            from_edge_list("3 1 9\n0 1\n"),
+            Err(ParseEdgeListError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn bad_edge_line_rejected() {
+        assert_eq!(
+            from_edge_list("2 1\n0 x\n"),
+            Err(ParseEdgeListError::BadEdgeLine { line: 2 })
+        );
+        assert_eq!(
+            from_edge_list("2 1\n0 1 2\n"),
+            Err(ParseEdgeListError::BadEdgeLine { line: 2 })
+        );
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        assert_eq!(
+            from_edge_list("3 2\n0 1\n"),
+            Err(ParseEdgeListError::EdgeCountMismatch {
+                expected: 2,
+                found: 1
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_graph_propagates() {
+        let err = from_edge_list("2 1\n0 0\n").unwrap_err();
+        assert!(matches!(err, ParseEdgeListError::Graph(_)));
+        assert!(err.to_string().contains("invalid graph"));
+    }
+
+    #[test]
+    fn dot_output_shape() {
+        let dot = to_dot(&generators::path(3));
+        assert!(dot.starts_with("graph G {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("1 -- 2;"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Undirected graph representation, generators, and traversal algorithms
+//! for selfish load-balancing networks.
+//!
+//! This crate is the network substrate of the reproduction of
+//! *Adolphs & Berenbrink, "Distributed Selfish Load Balancing with Weights
+//! and Speeds"* (PODC 2012). The paper models the computing network as an
+//! undirected graph `G = (V, E)` whose vertices are processors and whose
+//! edges are communication links restricting task migration. Everything the
+//! protocols and the spectral analysis need from the network lives here:
+//!
+//! * [`Graph`] — a compact CSR-style adjacency structure with O(1) degree
+//!   queries and cache-friendly neighbor iteration,
+//! * [`generators`] — the graph families of the paper's Table 1 (complete,
+//!   ring, path, mesh, torus, hypercube) plus auxiliary families used in the
+//!   test suite and experiments,
+//! * [`traversal`] — BFS, connectivity, eccentricities and the exact
+//!   diameter `diam(G)` used by Observation 3.28 and Lemma 1.5,
+//! * [`cheeger`] — the exact isoperimetric number `i(G)` for small graphs
+//!   (Definition 1.9).
+//!
+//! # Example
+//!
+//! ```
+//! use slb_graphs::{generators, NodeId};
+//!
+//! let g = generators::hypercube(4); // 16 nodes, degree 4
+//! assert_eq!(g.node_count(), 16);
+//! assert_eq!(g.max_degree(), 4);
+//! assert!(g.is_connected());
+//! // `d_ij = max(deg(i), deg(j))` from the paper's protocol:
+//! let (i, j) = (NodeId(0), NodeId(1));
+//! assert_eq!(g.d_max_endpoint(i, j), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+pub mod cheeger;
+pub mod generators;
+mod graph;
+pub mod io;
+pub mod product;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use graph::{EdgeId, Graph, GraphError, NodeId};

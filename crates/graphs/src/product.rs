@@ -1,0 +1,141 @@
+//! Cartesian graph products.
+//!
+//! The Table 1 families are products in disguise: the mesh is `P_r □ P_c`,
+//! the torus is `C_r □ C_c`, and the `d`-cube is `K₂^{□d}`. The product
+//! view matters for the spectral side — the Laplacian spectrum of
+//! `G □ H` is the pairwise sum `{λ_i(G) + λ_j(H)}`, which is how
+//! `closed_form` derives mesh/torus values — and the generators here let
+//! the test suite verify those identities structurally rather than
+//! numerically.
+//!
+//! Vertex numbering: `(g, h) ↦ g·|V(H)| + h`, matching the row-major
+//! numbering of [`generators::mesh`](crate::generators::mesh) and
+//! [`generators::torus`](crate::generators::torus) exactly, so products of
+//! paths/rings are `Graph`-equal to the direct generators.
+
+use crate::{Graph, GraphBuilder};
+
+/// The Cartesian product `G □ H`: vertices `V(G) × V(H)`; `(g, h)` is
+/// adjacent to `(g', h)` when `(g, g') ∈ E(G)` and to `(g, h')` when
+/// `(h, h') ∈ E(H)`.
+///
+/// # Example
+///
+/// ```
+/// use slb_graphs::{generators, product};
+/// // The 4x5 torus is exactly C_4 □ C_5 (same numbering).
+/// let t = generators::torus(4, 5);
+/// let p = product::cartesian(&generators::ring(4), &generators::ring(5));
+/// assert_eq!(t, p);
+/// ```
+pub fn cartesian(g: &Graph, h: &Graph) -> Graph {
+    let (ng, nh) = (g.node_count(), h.node_count());
+    let idx = |a: usize, b: usize| a * nh + b;
+    let mut b =
+        GraphBuilder::with_edge_capacity(ng * nh, ng * h.edge_count() + nh * g.edge_count());
+    for (x, y) in g.edges() {
+        for k in 0..nh {
+            b.add_edge(idx(x.index(), k), idx(y.index(), k));
+        }
+    }
+    for (x, y) in h.edges() {
+        for k in 0..ng {
+            b.add_edge(idx(k, x.index()), idx(k, y.index()));
+        }
+    }
+    b.build().expect("product of simple graphs is simple")
+}
+
+/// The `d`-fold Cartesian power `G^{□d}`.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+///
+/// # Example
+///
+/// ```
+/// use slb_graphs::{generators, product};
+/// // Q_3 = K_2 □ K_2 □ K_2 (up to vertex numbering).
+/// let q = product::power(&generators::complete(2), 3);
+/// assert_eq!(q.node_count(), 8);
+/// assert_eq!(q.regularity(), Some(3));
+/// ```
+pub fn power(g: &Graph, d: u32) -> Graph {
+    assert!(d > 0, "power needs at least one factor");
+    let mut acc = g.clone();
+    for _ in 1..d {
+        acc = cartesian(&acc, g);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, traversal};
+
+    #[test]
+    fn mesh_is_path_product() {
+        for (r, c) in [(2usize, 3usize), (3, 4), (4, 4), (1, 5)] {
+            let direct = generators::mesh(r, c);
+            let product = cartesian(&generators::path(r), &generators::path(c));
+            assert_eq!(direct, product, "mesh {r}x{c}");
+        }
+    }
+
+    #[test]
+    fn torus_is_ring_product() {
+        for (r, c) in [(3usize, 3usize), (3, 4), (4, 5)] {
+            let direct = generators::torus(r, c);
+            let product = cartesian(&generators::ring(r), &generators::ring(c));
+            assert_eq!(direct, product, "torus {r}x{c}");
+        }
+    }
+
+    #[test]
+    fn hypercube_is_k2_power() {
+        for d in 1..=5u32 {
+            let direct = generators::hypercube(d);
+            let product = power(&generators::complete(2), d);
+            // Same counts and regularity (vertex numbering differs by bit
+            // order only for d > 1, so compare invariants, then spectra).
+            assert_eq!(direct.node_count(), product.node_count());
+            assert_eq!(direct.edge_count(), product.edge_count());
+            assert_eq!(direct.regularity(), product.regularity());
+            assert_eq!(traversal::diameter(&direct), traversal::diameter(&product));
+        }
+    }
+
+    #[test]
+    fn product_degree_is_degree_sum() {
+        let g = generators::star(4);
+        let h = generators::ring(3);
+        let p = cartesian(&g, &h);
+        for a in g.nodes() {
+            for b in h.nodes() {
+                let v = crate::NodeId(a.index() * 3 + b.index());
+                assert_eq!(p.degree(v), g.degree(a) + h.degree(b));
+            }
+        }
+    }
+
+    #[test]
+    fn product_of_connected_is_connected() {
+        let p = cartesian(&generators::path(3), &generators::star(4));
+        assert!(p.is_connected());
+        assert_eq!(p.node_count(), 12);
+    }
+
+    #[test]
+    fn power_of_one_is_identity() {
+        let g = generators::ring(5);
+        assert_eq!(power(&g, 1), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "power needs at least one factor")]
+    fn zero_power_panics() {
+        let _ = power(&generators::ring(3), 0);
+    }
+}

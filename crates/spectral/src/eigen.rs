@@ -1,0 +1,248 @@
+//! Cyclic Jacobi eigendecomposition of dense symmetric matrices.
+//!
+//! The Jacobi method repeatedly zeroes off-diagonal elements with Givens
+//! rotations; for symmetric matrices it converges quadratically once the
+//! off-diagonal mass is small, is unconditionally stable, and produces a
+//! fully orthogonal eigenbasis — exactly what Lemma 1.13 of the paper
+//! requires when reasoning about the (generalized) Laplacian eigenbasis.
+
+use crate::{SpectralError, SymmetricMatrix};
+
+/// Maximum number of full Jacobi sweeps before reporting
+/// [`SpectralError::NoConvergence`].
+pub const MAX_SWEEPS: usize = 100;
+
+/// Relative off-diagonal tolerance: convergence when
+/// `off_norm ≤ TOLERANCE · frobenius_norm`.
+pub const TOLERANCE: f64 = 1e-12;
+
+/// An eigendecomposition `A = V·diag(λ)·Vᵀ` with eigenvalues ascending.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, sorted ascending (`values[0] = λ₁ ≤ λ₂ ≤ …`).
+    pub values: Vec<f64>,
+    /// `vectors[k]` is the unit eigenvector for `values[k]`.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+impl EigenDecomposition {
+    /// The second-smallest eigenvalue `λ₂`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decomposition has fewer than two eigenvalues.
+    pub fn lambda2(&self) -> f64 {
+        assert!(self.values.len() >= 2, "need at least a 2x2 matrix");
+        self.values[1]
+    }
+
+    /// The eigenvector of `λ₂` (the Fiedler vector when `A` is a graph
+    /// Laplacian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decomposition has fewer than two eigenvalues.
+    pub fn fiedler_vector(&self) -> &[f64] {
+        assert!(self.values.len() >= 2, "need at least a 2x2 matrix");
+        &self.vectors[1]
+    }
+
+    /// Largest eigenvalue `λ_n`.
+    pub fn lambda_max(&self) -> f64 {
+        *self
+            .values
+            .last()
+            .expect("decomposition always has at least one eigenvalue")
+    }
+}
+
+/// Computes the full eigendecomposition of a symmetric matrix by the cyclic
+/// Jacobi method.
+///
+/// # Errors
+///
+/// Returns [`SpectralError::NoConvergence`] if [`MAX_SWEEPS`] sweeps do not
+/// reduce the off-diagonal norm below [`TOLERANCE`] relative to the
+/// Frobenius norm (does not happen for well-scaled Laplacians).
+///
+/// # Example
+///
+/// ```
+/// use slb_spectral::{eigen, SymmetricMatrix};
+/// // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+/// let m = SymmetricMatrix::from_fn(2, |i, j| if i == j { 2.0 } else { 1.0 });
+/// let d = eigen::decompose(&m)?;
+/// assert!((d.values[0] - 1.0).abs() < 1e-10);
+/// assert!((d.values[1] - 3.0).abs() < 1e-10);
+/// # Ok::<(), slb_spectral::SpectralError>(())
+/// ```
+pub fn decompose(a: &SymmetricMatrix) -> Result<EigenDecomposition, SpectralError> {
+    let n = a.dim();
+    // Work on a mutable copy of the full matrix.
+    let mut m: Vec<f64> = (0..n).flat_map(|i| a.row(i).to_vec()).collect();
+    // V starts as the identity; columns accumulate the eigenvectors.
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let fro = a.frobenius_norm().max(f64::MIN_POSITIVE);
+    let mut sweeps = 0usize;
+    loop {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += 2.0 * m[i * n + j] * m[i * n + j];
+            }
+        }
+        let off = off.sqrt();
+        if off <= TOLERANCE * fro {
+            break;
+        }
+        if sweeps >= MAX_SWEEPS {
+            return Err(SpectralError::NoConvergence {
+                sweeps,
+                off_norm: off,
+            });
+        }
+        sweeps += 1;
+
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() <= TOLERANCE * fro / (n as f64) {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                // Standard stable rotation computation (Golub & Van Loan).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // A ← JᵀAJ applied to rows/columns p and q.
+                for k in 0..n {
+                    let akp = m[k * n + p];
+                    let akq = m[k * n + q];
+                    m[k * n + p] = c * akp - s * akq;
+                    m[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[p * n + k];
+                    let aqk = m[q * n + k];
+                    m[p * n + k] = c * apk - s * aqk;
+                    m[q * n + k] = s * apk + c * aqk;
+                }
+                // V ← VJ.
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        m[i * n + i]
+            .partial_cmp(&m[j * n + j])
+            .expect("eigenvalues are finite")
+    });
+    let values: Vec<f64> = order.iter().map(|&i| m[i * n + i]).collect();
+    let vectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&col| (0..n).map(|row| v[row * n + col]).collect())
+        .collect();
+    Ok(EigenDecomposition { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_spectrum() {
+        let mut m = SymmetricMatrix::zeros(3);
+        m.set(0, 0, 3.0);
+        m.set(1, 1, -1.0);
+        m.set(2, 2, 2.0);
+        let d = decompose(&m).unwrap();
+        assert_eq!(d.values, vec![-1.0, 2.0, 3.0]);
+        assert_eq!(d.lambda2(), 2.0);
+        assert_eq!(d.lambda_max(), 3.0);
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        let m = SymmetricMatrix::from_fn(2, |i, j| if i == j { 2.0 } else { 1.0 });
+        let d = decompose(&m).unwrap();
+        assert_close(d.values[0], 1.0, 1e-10);
+        assert_close(d.values[1], 3.0, 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = SymmetricMatrix::from_fn(5, |i, j| 1.0 / (1.0 + (i + j) as f64));
+        let d = decompose(&m).unwrap();
+        for a in 0..5 {
+            for b in 0..5 {
+                let dot: f64 = d.vectors[a]
+                    .iter()
+                    .zip(d.vectors[b].iter())
+                    .map(|(x, y)| x * y)
+                    .sum();
+                let expected = if a == b { 1.0 } else { 0.0 };
+                assert_close(dot, expected, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_satisfies_eigen_equation() {
+        let m = SymmetricMatrix::from_fn(6, |i, j| ((i * 7 + j * 3) % 5) as f64);
+        let d = decompose(&m).unwrap();
+        for k in 0..6 {
+            let av = m.matvec(&d.vectors[k]);
+            for (ai, vi) in av.iter().zip(d.vectors[k].iter()) {
+                assert_close(*ai, d.values[k] * vi, 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let m = SymmetricMatrix::from_fn(8, |i, j| ((i + 2 * j) % 7) as f64 - 3.0);
+        let d = decompose(&m).unwrap();
+        let sum: f64 = d.values.iter().sum();
+        assert_close(sum, m.trace(), 1e-8);
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let mut m = SymmetricMatrix::zeros(1);
+        m.set(0, 0, 42.0);
+        let d = decompose(&m).unwrap();
+        assert_eq!(d.values, vec![42.0]);
+        assert_eq!(d.lambda_max(), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least a 2x2 matrix")]
+    fn lambda2_of_singleton_panics() {
+        let mut m = SymmetricMatrix::zeros(1);
+        m.set(0, 0, 1.0);
+        let d = decompose(&m).unwrap();
+        let _ = d.lambda2();
+    }
+}

@@ -1,0 +1,250 @@
+//! Graph Laplacians and the algebraic connectivity `λ₂`.
+//!
+//! Definition 1.1 of the paper: `L(G)` has `L_ii = deg(i)` and
+//! `L_ij = −1` for `(i, j) ∈ E`. Lemma 1.2 gives the quadratic form
+//! `xᵀLx = Σ_{(i,j)∈E}(x_i − x_j)²` and positive semi-definiteness; Lemma
+//! 1.4 identifies the kernel with the connected components. The paper's
+//! convergence bounds all run through `λ₂`, computed here either densely
+//! (Jacobi) or sparsely (Lanczos, see [`crate::lanczos`]).
+
+use crate::eigen::{self, EigenDecomposition};
+use crate::{lanczos, SpectralError, SymmetricMatrix};
+use slb_graphs::Graph;
+
+/// Node-count threshold above which [`lambda2`] switches from the dense
+/// Jacobi path to sparse Lanczos.
+pub const DENSE_LIMIT: usize = 384;
+
+/// Builds the dense Laplacian `L(G)` (Definition 1.1).
+///
+/// # Example
+///
+/// ```
+/// use slb_graphs::generators;
+/// use slb_spectral::laplacian;
+/// let l = laplacian::dense(&generators::path(3));
+/// assert_eq!(l.get(0, 0), 1.0); // deg(0) = 1
+/// assert_eq!(l.get(1, 1), 2.0);
+/// assert_eq!(l.get(0, 1), -1.0);
+/// assert_eq!(l.get(0, 2), 0.0);
+/// ```
+pub fn dense(g: &Graph) -> SymmetricMatrix {
+    let mut l = SymmetricMatrix::zeros(g.node_count());
+    for v in g.nodes() {
+        l.set(v.index(), v.index(), g.degree(v) as f64);
+    }
+    for (a, b) in g.edges() {
+        l.set(a.index(), b.index(), -1.0);
+    }
+    l
+}
+
+/// Sparse application `y = L·x` without materializing the matrix:
+/// `y_i = deg(i)·x_i − Σ_{j ∈ N(i)} x_j`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != n`.
+pub fn apply(g: &Graph, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), g.node_count(), "vector length mismatch");
+    let mut y = vec![0.0; x.len()];
+    for v in g.nodes() {
+        let mut acc = g.degree(v) as f64 * x[v.index()];
+        for &u in g.neighbors(v) {
+            acc -= x[u.index()];
+        }
+        y[v.index()] = acc;
+    }
+    y
+}
+
+/// The quadratic form `xᵀLx = Σ_{(i,j)∈E}(x_i − x_j)²` (Lemma 1.2(1)),
+/// evaluated edge-wise in O(m).
+///
+/// # Panics
+///
+/// Panics if `x.len() != n`.
+pub fn quadratic_form(g: &Graph, x: &[f64]) -> f64 {
+    assert_eq!(x.len(), g.node_count(), "vector length mismatch");
+    g.edges()
+        .iter()
+        .map(|(a, b)| {
+            let d = x[a.index()] - x[b.index()];
+            d * d
+        })
+        .sum()
+}
+
+/// Full dense eigendecomposition of `L(G)`.
+///
+/// # Errors
+///
+/// Propagates [`SpectralError`] from the Jacobi solver.
+pub fn eigendecomposition(g: &Graph) -> Result<EigenDecomposition, SpectralError> {
+    eigen::decompose(&dense(g))
+}
+
+/// The algebraic connectivity `λ₂(G)`.
+///
+/// Dense Jacobi for `n ≤` [`DENSE_LIMIT`], Lanczos beyond. For a connected
+/// graph `λ₂ > 0`; for a disconnected graph this returns (numerically) 0 in
+/// accordance with Lemma 1.4(2).
+///
+/// # Errors
+///
+/// Returns [`SpectralError::TooSmall`] for `n < 2` and propagates solver
+/// errors.
+pub fn lambda2(g: &Graph) -> Result<f64, SpectralError> {
+    let n = g.node_count();
+    if n < 2 {
+        return Err(SpectralError::TooSmall { nodes: n });
+    }
+    if n <= DENSE_LIMIT {
+        Ok(eigendecomposition(g)?.lambda2())
+    } else {
+        lanczos::lambda2(g)
+    }
+}
+
+/// The Fiedler vector (eigenvector of `λ₂`), dense path only.
+///
+/// # Errors
+///
+/// Returns [`SpectralError::TooSmall`] for `n < 2` and propagates solver
+/// errors.
+pub fn fiedler_vector(g: &Graph) -> Result<Vec<f64>, SpectralError> {
+    let n = g.node_count();
+    if n < 2 {
+        return Err(SpectralError::TooSmall { nodes: n });
+    }
+    Ok(eigendecomposition(g)?.fiedler_vector().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form;
+    use slb_graphs::generators;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let g = generators::torus(3, 4);
+        let l = dense(&g);
+        for i in 0..g.node_count() {
+            let sum: f64 = l.row(i).iter().sum();
+            assert_close(sum, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_matches_dense() {
+        let g = generators::hypercube(3);
+        let l = dense(&g);
+        let x: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+        let sparse = apply(&g, &x);
+        let densev = l.matvec(&x);
+        for (a, b) in sparse.iter().zip(densev.iter()) {
+            assert_close(*a, *b, 1e-12);
+        }
+    }
+
+    #[test]
+    fn quadratic_form_matches_lemma_1_2() {
+        let g = generators::mesh(3, 3);
+        let x: Vec<f64> = (0..9).map(|i| (i * i) as f64 * 0.1).collect();
+        let by_edges = quadratic_form(&g, &x);
+        let by_matrix = dense(&g).quadratic_form(&x);
+        assert_close(by_edges, by_matrix, 1e-9);
+        assert!(by_edges >= 0.0, "L is PSD (Lemma 1.2(2))");
+    }
+
+    #[test]
+    fn all_ones_in_kernel() {
+        let g = generators::ring(9);
+        let ones = vec![1.0; 9];
+        for v in apply(&g, &ones) {
+            assert_close(v, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn smallest_eigenvalue_is_zero() {
+        let g = generators::complete(7);
+        let d = eigendecomposition(&g).unwrap();
+        assert_close(d.values[0], 0.0, 1e-9);
+    }
+
+    #[test]
+    fn kernel_multiplicity_counts_components() {
+        // Two disjoint triangles: eigenvalue 0 with multiplicity 2.
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+        let d = eigendecomposition(&g).unwrap();
+        let zero_count = d.values.iter().filter(|v| v.abs() < 1e-9).count();
+        assert_eq!(zero_count, 2);
+        // λ₂ of a disconnected graph is 0 (Lemma 1.4(2)).
+        assert_close(lambda2(&g).unwrap(), 0.0, 1e-9);
+    }
+
+    #[test]
+    fn lambda2_matches_closed_forms() {
+        assert_close(
+            lambda2(&generators::complete(10)).unwrap(),
+            closed_form::lambda2_complete(10),
+            1e-8,
+        );
+        assert_close(
+            lambda2(&generators::ring(12)).unwrap(),
+            closed_form::lambda2_ring(12),
+            1e-8,
+        );
+        assert_close(
+            lambda2(&generators::path(11)).unwrap(),
+            closed_form::lambda2_path(11),
+            1e-8,
+        );
+        assert_close(
+            lambda2(&generators::hypercube(4)).unwrap(),
+            closed_form::lambda2_hypercube(4),
+            1e-8,
+        );
+        assert_close(
+            lambda2(&generators::star(8)).unwrap(),
+            closed_form::lambda2_star(8),
+            1e-8,
+        );
+        assert_close(
+            lambda2(&generators::mesh(4, 5)).unwrap(),
+            closed_form::lambda2_mesh(4, 5),
+            1e-8,
+        );
+        assert_close(
+            lambda2(&generators::torus(4, 5)).unwrap(),
+            closed_form::lambda2_torus(4, 5),
+            1e-8,
+        );
+    }
+
+    #[test]
+    fn fiedler_vector_is_orthogonal_to_ones() {
+        let g = generators::path(10);
+        let f = fiedler_vector(&g).unwrap();
+        let dot: f64 = f.iter().sum();
+        assert_close(dot, 0.0, 1e-8);
+        // Rayleigh quotient of the Fiedler vector equals λ₂.
+        let rq = quadratic_form(&g, &f) / f.iter().map(|v| v * v).sum::<f64>();
+        assert_close(rq, lambda2(&g).unwrap(), 1e-8);
+    }
+
+    #[test]
+    fn too_small_rejected() {
+        let g = Graph::from_edges(1, []).unwrap();
+        assert_eq!(lambda2(&g), Err(SpectralError::TooSmall { nodes: 1 }));
+        assert!(fiedler_vector(&g).is_err());
+    }
+
+    use slb_graphs::Graph;
+}

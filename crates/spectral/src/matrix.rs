@@ -1,0 +1,255 @@
+//! Dense symmetric matrices.
+
+use std::fmt;
+
+/// A dense symmetric `n × n` matrix of `f64`, stored row-major in full.
+///
+/// The storage is deliberately simple: the matrices here are Laplacians of
+/// experiment topologies (hundreds to a few thousand nodes), and the
+/// eigensolver is the bottleneck, not storage. Symmetry is an invariant
+/// maintained by the mutators ([`SymmetricMatrix::set`] writes both
+/// triangles).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymmetricMatrix {
+    /// The `n × n` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        SymmetricMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a function of `(row, col)`; only the upper triangle
+    /// (including the diagonal) is sampled and mirrored, so `f` need not be
+    /// symmetric itself.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                let v = f(i, j);
+                m.data[i * n + j] = v;
+                m.data[j * n + i] = v;
+            }
+        }
+        m
+    }
+
+    /// Matrix dimension `n`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        self.data[i * self.n + j]
+    }
+
+    /// Sets both `(i, j)` and `(j, i)` to `v`, preserving symmetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n, "index out of range");
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// Adds `v` to both `(i, j)` and `(j, i)` (only once to the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n, "index out of range");
+        self.data[i * self.n + j] += v;
+        if i != j {
+            self.data[j * self.n + i] += v;
+        }
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n, "row out of range");
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Matrix-vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "vector length mismatch");
+        let mut y = vec![0.0; self.n];
+        for (i, out) in y.iter_mut().enumerate() {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            *out = acc;
+        }
+        y
+    }
+
+    /// Quadratic form `xᵀ·A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn quadratic_form(&self, x: &[f64]) -> f64 {
+        let ax = self.matvec(x);
+        x.iter().zip(ax.iter()).map(|(a, b)| a * b).sum()
+    }
+
+    /// Frobenius norm `‖A‖_F`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Frobenius norm of the off-diagonal part (the Jacobi convergence
+    /// criterion).
+    pub fn off_diagonal_norm(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    let v = self.data[i * self.n + j];
+                    acc += v * v;
+                }
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// The trace `Σ_i A_ii`.
+    pub fn trace(&self) -> f64 {
+        (0..self.n).map(|i| self.data[i * self.n + i]).sum()
+    }
+
+    /// Consumes the matrix, returning the raw row-major buffer.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+impl fmt::Display for SymmetricMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:9.4}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = SymmetricMatrix::zeros(3);
+        assert_eq!(z.dim(), 3);
+        assert_eq!(z.trace(), 0.0);
+        let i = SymmetricMatrix::identity(3);
+        assert_eq!(i.trace(), 3.0);
+        assert_eq!(i.get(1, 1), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn set_maintains_symmetry() {
+        let mut m = SymmetricMatrix::zeros(3);
+        m.set(0, 2, 5.0);
+        assert_eq!(m.get(0, 2), 5.0);
+        assert_eq!(m.get(2, 0), 5.0);
+        m.add(0, 2, 1.0);
+        assert_eq!(m.get(2, 0), 6.0);
+        m.add(1, 1, 3.0);
+        assert_eq!(m.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn from_fn_mirrors_upper_triangle() {
+        // f is intentionally asymmetric; the upper triangle wins.
+        let m = SymmetricMatrix::from_fn(3, |i, j| (10 * i + j) as f64);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(2, 0), 2.0);
+        assert_eq!(m.get(1, 2), 12.0);
+        assert_eq!(m.get(2, 1), 12.0);
+    }
+
+    #[test]
+    fn matvec_and_quadratic_form() {
+        let m = SymmetricMatrix::from_fn(2, |i, j| if i == j { 2.0 } else { 1.0 });
+        let y = m.matvec(&[1.0, 3.0]);
+        assert_eq!(y, vec![5.0, 7.0]);
+        // xᵀAx = 1*5 + 3*7 = 26.
+        assert_eq!(m.quadratic_form(&[1.0, 3.0]), 26.0);
+    }
+
+    #[test]
+    fn norms() {
+        let mut m = SymmetricMatrix::zeros(2);
+        m.set(0, 1, 3.0);
+        m.set(0, 0, 4.0);
+        assert!((m.frobenius_norm() - (9.0f64 + 9.0 + 16.0).sqrt()).abs() < 1e-12);
+        assert!((m.off_diagonal_norm() - (18.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let m = SymmetricMatrix::identity(2);
+        let s = m.to_string();
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix dimension must be positive")]
+    fn zero_dim_panics() {
+        let _ = SymmetricMatrix::zeros(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length mismatch")]
+    fn matvec_length_mismatch_panics() {
+        let m = SymmetricMatrix::identity(2);
+        let _ = m.matvec(&[1.0]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Workload generators for selfish load-balancing experiments.
+//!
+//! The paper's theorems are worst-case over initial states, weights, and
+//! speeds; its experimental reproduction therefore needs controlled
+//! generators for each axis:
+//!
+//! * [`placement`] — initial task placements, from the adversarial
+//!   "everything on one node" start (the `Ψ₀(X₀) ≤ m²` worst case used in
+//!   Lemma 3.15) to random and near-balanced starts,
+//! * [`weights`] — task-weight distributions on `(0, 1]` (uniform, ranges,
+//!   bounded power laws, bimodal mixes),
+//! * [`speeds`] — machine-speed distributions, including the
+//!   integer-granularity families required by Theorem 1.2,
+//! * [`scenario`] — named presets bundling a topology, speeds, weights and
+//!   placement into a ready-to-run [`System`](slb_core::model::System).
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use slb_workloads::{placement::Placement, scenario};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let built = scenario::heterogeneous_torus(4, 4, 10, &mut rng)?;
+//! assert_eq!(built.system.node_count(), 16);
+//! assert_eq!(built.system.task_count(), 160);
+//! # Ok::<(), slb_workloads::ScenarioError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod placement;
+pub mod scenario;
+pub mod speeds;
+pub mod weights;
+
+pub use scenario::{BuiltScenario, ScenarioError};

@@ -1,0 +1,272 @@
+//! Named scenario presets: topology × speeds × weights × placement.
+//!
+//! The examples and the experiment harness want "give me a realistic
+//! instance" one-liners; these presets are the motivating workloads of the
+//! paper's introduction (large heterogeneous compute networks with locality
+//! constraints) rendered concrete.
+
+use crate::placement::Placement;
+use crate::speeds::SpeedDistribution;
+use crate::weights::WeightDistribution;
+use rand::Rng;
+use slb_core::model::{ModelError, SpeedError, System, TaskError, TaskSet, TaskState};
+use slb_graphs::Graph;
+use std::fmt;
+
+/// Errors from building a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// Model assembly failed.
+    Model(ModelError),
+    /// Task construction failed.
+    Task(TaskError),
+    /// Speed construction failed.
+    Speed(SpeedError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Model(e) => write!(f, "scenario model error: {e}"),
+            ScenarioError::Task(e) => write!(f, "scenario task error: {e}"),
+            ScenarioError::Speed(e) => write!(f, "scenario speed error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Model(e) => Some(e),
+            ScenarioError::Task(e) => Some(e),
+            ScenarioError::Speed(e) => Some(e),
+        }
+    }
+}
+
+impl From<ModelError> for ScenarioError {
+    fn from(e: ModelError) -> Self {
+        ScenarioError::Model(e)
+    }
+}
+impl From<TaskError> for ScenarioError {
+    fn from(e: TaskError) -> Self {
+        ScenarioError::Task(e)
+    }
+}
+impl From<SpeedError> for ScenarioError {
+    fn from(e: SpeedError) -> Self {
+        ScenarioError::Speed(e)
+    }
+}
+
+/// A fully built scenario: the instance and its initial state.
+#[derive(Debug, Clone)]
+pub struct BuiltScenario {
+    /// The immutable instance.
+    pub system: System,
+    /// The initial state `X₀`.
+    pub initial: TaskState,
+    /// Human-readable description (topology, speeds, weights, placement).
+    pub description: String,
+}
+
+/// Generic scenario assembly from the four axes.
+///
+/// `tasks_per_node` scales `m = tasks_per_node · n`.
+///
+/// # Errors
+///
+/// Propagates model/task/speed construction failures.
+pub fn build<R: Rng + ?Sized>(
+    graph: Graph,
+    speed_dist: SpeedDistribution,
+    weight_dist: WeightDistribution,
+    placement: Placement,
+    tasks_per_node: usize,
+    rng: &mut R,
+) -> Result<BuiltScenario, ScenarioError> {
+    let n = graph.node_count();
+    let m = tasks_per_node * n;
+    let speeds = speed_dist.sample(n, rng);
+    let tasks = match weight_dist {
+        WeightDistribution::Unit => TaskSet::uniform(m),
+        other => TaskSet::weighted(other.sample(m, rng))?,
+    };
+    let description = format!(
+        "n={n}, m={m}, speeds={}, weights={}, placement={}",
+        speed_dist.label(),
+        weight_dist.label(),
+        placement.label()
+    );
+    let system = System::new(graph, speeds, tasks)?;
+    let initial = placement.state(&system, rng);
+    Ok(BuiltScenario {
+        system,
+        initial,
+        description,
+    })
+}
+
+/// A heterogeneous datacenter rack row: `rows × cols` torus, two machine
+/// classes (25% of nodes 4× faster), heavy-tailed job sizes, everything
+/// initially queued on one ingest node.
+///
+/// # Errors
+///
+/// Propagates construction failures.
+pub fn heterogeneous_torus<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    tasks_per_node: usize,
+    rng: &mut R,
+) -> Result<BuiltScenario, ScenarioError> {
+    build(
+        slb_graphs::generators::torus(rows, cols),
+        SpeedDistribution::TwoClass {
+            fast: 4,
+            fast_fraction: 0.25,
+        },
+        WeightDistribution::BoundedPowerLaw {
+            alpha: 1.2,
+            min: 0.05,
+        },
+        Placement::AllOnNode(0),
+        tasks_per_node,
+        rng,
+    )
+}
+
+/// A peer-to-peer overlay: random 4-regular expander, uniform machines,
+/// unit tasks scattered randomly.
+///
+/// # Errors
+///
+/// Propagates construction failures.
+pub fn p2p_overlay<R: Rng + ?Sized>(
+    n: usize,
+    tasks_per_node: usize,
+    rng: &mut R,
+) -> Result<BuiltScenario, ScenarioError> {
+    let graph = slb_graphs::generators::random_regular(n, 4, rng);
+    build(
+        graph,
+        SpeedDistribution::Uniform,
+        WeightDistribution::Unit,
+        Placement::UniformRandom,
+        tasks_per_node,
+        rng,
+    )
+}
+
+/// The worst-case theory instance: a ring (smallest `λ₂` per node count
+/// among the Table 1 families), integer speeds up to `s_max`, unit tasks,
+/// all on the slowest node.
+///
+/// # Errors
+///
+/// Propagates construction failures.
+pub fn adversarial_ring<R: Rng + ?Sized>(
+    n: usize,
+    s_max: u64,
+    tasks_per_node: usize,
+    rng: &mut R,
+) -> Result<BuiltScenario, ScenarioError> {
+    build(
+        slb_graphs::generators::ring(n),
+        SpeedDistribution::IntegerUniform { max: s_max },
+        WeightDistribution::Unit,
+        Placement::AllOnSlowest,
+        tasks_per_node,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use slb_graphs::NodeId;
+
+    #[test]
+    fn heterogeneous_torus_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = heterogeneous_torus(3, 4, 20, &mut rng).unwrap();
+        assert_eq!(b.system.node_count(), 12);
+        assert_eq!(b.system.task_count(), 240);
+        assert!(!b.system.tasks().is_uniform());
+        assert_eq!(b.initial.node_task_count(NodeId(0)), 240);
+        assert!(b.description.contains("two-class"));
+        b.initial.check_invariants(&b.system).unwrap();
+    }
+
+    #[test]
+    fn p2p_overlay_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = p2p_overlay(20, 8, &mut rng).unwrap();
+        assert_eq!(b.system.node_count(), 20);
+        assert_eq!(b.system.graph().regularity(), Some(4));
+        assert!(b.system.tasks().is_uniform());
+        assert!(b.system.speeds().is_uniform());
+    }
+
+    #[test]
+    fn adversarial_ring_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = adversarial_ring(10, 5, 50, &mut rng).unwrap();
+        assert_eq!(b.system.node_count(), 10);
+        assert_eq!(b.system.speeds().min(), 1.0);
+        assert_eq!(b.system.speeds().granularity(), Some(1.0));
+        // All tasks on one (slowest) node.
+        let counts: Vec<usize> = (0..10)
+            .map(|i| b.initial.node_task_count(NodeId(i)))
+            .collect();
+        assert_eq!(counts.iter().sum::<usize>(), 500);
+        assert_eq!(counts.iter().filter(|&&c| c > 0).count(), 1);
+    }
+
+    #[test]
+    fn generic_build_with_weighted_tasks() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let b = build(
+            slb_graphs::generators::hypercube(3),
+            SpeedDistribution::Ramp {
+                max: 3.0,
+                granularity: 0.5,
+            },
+            WeightDistribution::UniformRange { lo: 0.1, hi: 0.9 },
+            Placement::SpeedProportional,
+            10,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(b.system.task_count(), 80);
+        assert_eq!(b.system.speeds().granularity(), Some(0.5));
+        b.initial.check_invariants(&b.system).unwrap();
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let build_once = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            heterogeneous_torus(3, 3, 10, &mut rng).unwrap()
+        };
+        let a = build_once(9);
+        let b = build_once(9);
+        assert_eq!(a.initial, b.initial);
+        assert_eq!(a.system.speeds(), b.system.speeds());
+        let c = build_once(10);
+        assert_ne!(
+            (a.initial, a.system.speeds().clone()),
+            (c.initial, c.system.speeds().clone())
+        );
+    }
+
+    #[test]
+    fn error_display_chains() {
+        let e = ScenarioError::Task(TaskError::Empty);
+        assert!(e.to_string().contains("task error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

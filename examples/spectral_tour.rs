@@ -1,0 +1,102 @@
+//! A tour of the spectral machinery behind the paper's bounds.
+//!
+//! For each Table 1 family this example computes `λ₂` three ways (closed
+//! form, dense Jacobi, sparse Lanczos), verifies the Appendix A bounds
+//! (Fiedler, Mohar, Cheeger), and shows how machine speeds shift the
+//! spectrum of the generalized Laplacian within Corollary 1.16's
+//! interlacing window.
+//!
+//! Run: `cargo run --release --example spectral_tour`
+
+use selfish_load_balancing::graphs::{cheeger, traversal};
+use selfish_load_balancing::prelude::*;
+use selfish_load_balancing::spectral::{bounds, generalized, lanczos, sweep};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("family        |     λ₂ closed |      λ₂ dense |    λ₂ lanczos");
+    println!("--------------+---------------+---------------+--------------");
+    let families = [
+        generators::Family::Complete { n: 16 },
+        generators::Family::Ring { n: 16 },
+        generators::Family::Path { n: 16 },
+        generators::Family::Mesh { rows: 4, cols: 4 },
+        generators::Family::Torus { rows: 4, cols: 4 },
+        generators::Family::Hypercube { d: 4 },
+        generators::Family::Star { n: 16 },
+    ];
+    for family in families {
+        let g = family.build();
+        let closed = closed_form::lambda2_family(family);
+        let dense = laplacian::lambda2(&g)?;
+        let sparse = lanczos::lambda2(&g)?;
+        println!(
+            "{:<13} | {closed:>13.6} | {dense:>13.6} | {sparse:>13.6}",
+            family.label()
+        );
+        assert!((closed - dense).abs() < 1e-6);
+        assert!((closed - sparse).abs() < 1e-6);
+    }
+
+    // Appendix A bounds on a mid-sized torus.
+    let g = generators::torus(4, 5);
+    let l2 = laplacian::lambda2(&g)?;
+    let diam = traversal::diameter(&g).ok_or("connected graph expected")?;
+    let (iso, _) = cheeger::isoperimetric_number(&g);
+    let (ch_lo, ch_hi) = bounds::cheeger_sandwich(iso, g.max_degree());
+    println!("\ntorus 4x5: λ₂ = {l2:.4}");
+    println!(
+        "  Fiedler (Lem 1.7)   : λ₂ ≤ {:.4}",
+        bounds::fiedler_upper(&g)
+    );
+    println!(
+        "  Mohar (Lem 1.5)     : λ₂ ≥ {:.4} (diam = {diam})",
+        bounds::mohar_lambda2_lower(g.node_count(), diam)
+    );
+    println!("  Cheeger (Lem 1.10)  : {ch_lo:.4} ≤ λ₂ ≤ {ch_hi:.4} (i(G) = {iso:.3})");
+    let cut = sweep::fiedler_sweep(&g)?;
+    println!(
+        "  Fiedler sweep cut   : expansion {:.3} with |S| = {} (upper-bounds i(G))",
+        cut.expansion,
+        cut.subset.len()
+    );
+    assert!(bounds::check_all(&g, l2, Some(diam), Some(iso)).is_empty());
+
+    // Speeds and the generalized Laplacian (§A.2).
+    println!("\ngeneralized Laplacian L·S⁻¹ on the same torus:");
+    for s_max in [1u64, 2, 4, 8] {
+        let speeds: Vec<f64> = (0..20).map(|i| 1.0 + (i % s_max as usize) as f64).collect();
+        let mu2 = generalized::mu2(&g, &speeds)?;
+        let (lo, hi) = bounds::speed_interlacing(
+            l2,
+            speeds.iter().cloned().fold(f64::MAX, f64::min),
+            speeds.iter().cloned().fold(f64::MIN, f64::max),
+        );
+        println!("  s_max = {s_max}: µ₂ = {mu2:.4} ∈ [{lo:.4}, {hi:.4}] (Cor 1.16)");
+        assert!(mu2 >= lo - 1e-9 && mu2 <= hi + 1e-9);
+    }
+
+    // What the spectrum buys: the paper's convergence time scale γ.
+    println!("\nconvergence time scale γ = 32·Δ·s_max²/λ₂ per family (n = 64):");
+    for family in [
+        generators::Family::Complete { n: 64 },
+        generators::Family::Ring { n: 64 },
+        generators::Family::Torus { rows: 8, cols: 8 },
+        generators::Family::Hypercube { d: 6 },
+    ] {
+        let g = family.build();
+        let inst = theory::Instance::uniform_speeds(
+            64,
+            64 * 32,
+            g.max_degree(),
+            closed_form::lambda2_family(family),
+        );
+        println!(
+            "  {:<10}: γ = {:>10.1}, ψ_c = {:>10.1}, T = 2γ·ln(m/n) = {:>10.1}",
+            family.label(),
+            theory::gamma(&inst),
+            theory::psi_c(&inst),
+            theory::t_block(&inst)
+        );
+    }
+    Ok(())
+}

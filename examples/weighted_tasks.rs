@@ -1,0 +1,71 @@
+//! Weighted tasks: Algorithm 2's weight-independent threshold in action.
+//!
+//! Demonstrates the §4 design decision on a tiny instance you can reason
+//! about by hand: Algorithm 2 moves a task only when the load gap exceeds
+//! `1/s_j` — the threshold of the *heaviest possible* task — so it
+//! converges fast to an approximate equilibrium but deliberately leaves
+//! small per-task improvements on the table. The [6] baseline uses each
+//! task's own weight and keeps polishing.
+//!
+//! Run: `cargo run --release --example weighted_tasks`
+
+use rand::{Rng, SeedableRng};
+use selfish_load_balancing::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 6 identical machines in a ring; 120 tasks with weights in (0, 1/4].
+    let n = 6;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let weights: Vec<f64> = (0..20 * n).map(|_| rng.gen_range(0.01..=0.25)).collect();
+    let total: f64 = weights.iter().sum();
+    let system = System::new(
+        generators::ring(n),
+        SpeedVector::uniform(n),
+        TaskSet::weighted(weights)?,
+    )?;
+    println!(
+        "instance: ring n={n}, m={} tasks, total weight W = {total:.2}, max weight ≤ 0.25\n",
+        system.task_count()
+    );
+
+    let initial = TaskState::all_on_node(&system, NodeId(0));
+
+    // Algorithm 2: converges to ℓ_i − ℓ_j ≤ 1/s_j = 1 on every edge.
+    let mut alg2 = Simulation::new(&system, SelfishWeighted::new(), initial.clone(), 1);
+    let o = alg2.run_until(StopCondition::Quiescent(2_000), 200_000);
+    let gap2 = equilibrium::nash_gap(&system, alg2.state(), Threshold::LightestTask);
+    println!("algorithm 2 : quiescent after ~{} rounds", o.rounds);
+    println!(
+        "  relaxed NE (gap ≤ 1/s_j)  : {}",
+        equilibrium::is_nash(&system, alg2.state(), Threshold::UnitWeight)
+    );
+    println!(
+        "  exact weighted NE          : {} (gap {gap2:.3})",
+        equilibrium::is_nash(&system, alg2.state(), Threshold::LightestTask)
+    );
+    let loads = alg2.state().loads(&system);
+    println!("  loads: {loads:.2?}");
+
+    // With max weight 0.25, a load gap of 0.9 is a *relaxed* equilibrium
+    // but every task on the higher node would still gain by moving — the
+    // approximate-NE trade-off quantified by Theorem 1.3.
+
+    // The [6] baseline from the same start.
+    let mut bhs = Simulation::new(&system, BhsBaseline::new(), initial, 1);
+    let o = bhs.run_until(StopCondition::Quiescent(2_000), 200_000);
+    let gapb = equilibrium::nash_gap(&system, bhs.state(), Threshold::LightestTask);
+    println!("\nbhs [6]     : quiescent after ~{} rounds", o.rounds);
+    println!(
+        "  exact weighted NE          : {} (gap {gapb:.3})",
+        equilibrium::is_nash(&system, bhs.state(), Threshold::LightestTask)
+    );
+    let loads = bhs.state().loads(&system);
+    println!("  loads: {loads:.2?}");
+
+    println!(
+        "\nBoth end nearly balanced; the baseline's per-task threshold drives\n\
+         the exact-NE gap lower ({gapb:.3} vs {gap2:.3}), at the cost of the harder\n\
+         analysis the paper replaces."
+    );
+    Ok(())
+}

@@ -1,0 +1,347 @@
+//! `slb` — command-line front end for the selfish load-balancing simulator.
+//!
+//! Run simulations and inspect instances without writing Rust:
+//!
+//! ```console
+//! slb simulate --family ring --n 16 --tasks-per-node 32 --protocol alg1 \
+//!              --until nash --seed 7
+//! slb spectral --family torus --rows 5 --cols 5
+//! slb bounds   --family hypercube --d 5 --tasks-per-node 64
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency policy has
+//! no CLI crate); every subcommand prints `--help`-style usage on bad
+//! input and exits nonzero.
+
+use selfish_load_balancing::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+slb — distributed selfish load balancing (Adolphs & Berenbrink, PODC 2012)
+
+USAGE:
+  slb simulate [OPTIONS]   run one protocol to a stop condition
+  slb spectral [OPTIONS]   print λ₂ and the spectral bounds of a topology
+  slb bounds   [OPTIONS]   print the paper's convergence bounds for an instance
+
+TOPOLOGY OPTIONS (all subcommands):
+  --family <complete|ring|path|mesh|torus|hypercube|star>   (default ring)
+  --n <N>            nodes, for complete/ring/path/star     (default 16)
+  --rows/--cols <N>  dimensions, for mesh/torus             (default 4x4)
+  --d <N>            dimension, for hypercube               (default 4)
+
+SIMULATE OPTIONS:
+  --protocol <alg1|alg2|bhs|diffusion|best-response>        (default alg1)
+  --tasks-per-node <N>                                      (default 32)
+  --speeds <uniform|alternating:K>                          (default uniform)
+  --weights <unit|uniform:LO..HI>   task weights            (default unit)
+  --until <nash|quiescent|psi0:X>   stop condition          (default nash)
+  --max-rounds <N>                                          (default 1000000)
+  --seed <N>                                                (default 42)
+";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --{key}")),
+    }
+}
+
+fn family_of(flags: &HashMap<String, String>) -> Result<generators::Family, String> {
+    let name = flags.get("family").map(String::as_str).unwrap_or("ring");
+    let n: usize = get(flags, "n", 16)?;
+    let rows: usize = get(flags, "rows", 4)?;
+    let cols: usize = get(flags, "cols", 4)?;
+    let d: u32 = get(flags, "d", 4)?;
+    Ok(match name {
+        "complete" => generators::Family::Complete { n },
+        "ring" => generators::Family::Ring { n },
+        "path" => generators::Family::Path { n },
+        "mesh" => generators::Family::Mesh { rows, cols },
+        "torus" => generators::Family::Torus { rows, cols },
+        "hypercube" => generators::Family::Hypercube { d },
+        "star" => generators::Family::Star { n },
+        other => return Err(format!("unknown family `{other}`")),
+    })
+}
+
+fn speeds_of(flags: &HashMap<String, String>, n: usize) -> Result<SpeedVector, String> {
+    match flags.get("speeds").map(String::as_str).unwrap_or("uniform") {
+        "uniform" => Ok(SpeedVector::uniform(n)),
+        spec => {
+            let k: u64 = spec
+                .strip_prefix("alternating:")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("invalid --speeds `{spec}` (use uniform|alternating:K)"))?;
+            if k == 0 {
+                return Err("alternating speed must be at least 1".into());
+            }
+            SpeedVector::integer((0..n as u64).map(|i| 1 + i % k).collect())
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn tasks_of(flags: &HashMap<String, String>, m: usize, seed: u64) -> Result<TaskSet, String> {
+    match flags.get("weights").map(String::as_str).unwrap_or("unit") {
+        "unit" => Ok(TaskSet::uniform(m)),
+        spec => {
+            let range = spec
+                .strip_prefix("uniform:")
+                .and_then(|s| s.split_once(".."))
+                .ok_or_else(|| {
+                    format!("invalid --weights `{spec}` (use unit|uniform:LO..HI)")
+                })?;
+            let lo: f64 = range.0.parse().map_err(|_| "bad weight lower bound")?;
+            let hi: f64 = range.1.parse().map_err(|_| "bad weight upper bound")?;
+            use rand::Rng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x77);
+            TaskSet::weighted((0..m).map(|_| rng.gen_range(lo..=hi)).collect())
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+use rand::SeedableRng;
+
+fn cmd_simulate(flags: HashMap<String, String>) -> Result<(), String> {
+    let family = family_of(&flags)?;
+    let graph = family.build();
+    let n = graph.node_count();
+    let tasks_per_node: usize = get(&flags, "tasks-per-node", 32)?;
+    let seed: u64 = get(&flags, "seed", 42)?;
+    let max_rounds: u64 = get(&flags, "max-rounds", 1_000_000)?;
+    let m = n * tasks_per_node;
+    let speeds = speeds_of(&flags, n)?;
+    let tasks = tasks_of(&flags, m, seed)?;
+    let weighted = !tasks.is_uniform();
+    let system = System::new(graph, speeds, tasks).map_err(|e| e.to_string())?;
+    let initial = TaskState::all_on_node(&system, NodeId(0));
+
+    let condition = match flags.get("until").map(String::as_str).unwrap_or("nash") {
+        "nash" => StopCondition::Nash(if weighted {
+            Threshold::LightestTask
+        } else {
+            Threshold::UnitWeight
+        }),
+        "quiescent" => StopCondition::Quiescent(1_000),
+        spec => {
+            let bound: f64 = spec
+                .strip_prefix("psi0:")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("invalid --until `{spec}`"))?;
+            StopCondition::Psi0Below(bound)
+        }
+    };
+
+    let protocol_name = flags.get("protocol").map(String::as_str).unwrap_or("alg1");
+    println!(
+        "instance : {family}, m = {m}, s_max = {}, protocol = {protocol_name}",
+        system.speeds().max()
+    );
+    let start = potential::report(&system, &initial);
+    println!("start    : Ψ₀ = {:.2}, L_Δ = {:.3}", start.psi0, start.max_load_deviation);
+
+    let outcome = match protocol_name {
+        "alg1" => Simulation::new(&system, SelfishUniform::new(), initial, seed)
+            .run_until(condition, max_rounds),
+        "alg2" => Simulation::new(&system, SelfishWeighted::new(), initial, seed)
+            .run_until(condition, max_rounds),
+        "bhs" => Simulation::new(&system, BhsBaseline::new(), initial, seed)
+            .run_until(condition, max_rounds),
+        "diffusion" => Simulation::new(&system, Diffusion::new(), initial, seed)
+            .run_until(condition, max_rounds),
+        "best-response" => Simulation::new(&system, BestResponse::new(), initial, seed)
+            .run_until(condition, max_rounds),
+        other => return Err(format!("unknown protocol `{other}`")),
+    };
+
+    match outcome.reason {
+        StopReason::ConditionMet => println!(
+            "result   : condition met after {} rounds ({} migrations)",
+            outcome.rounds, outcome.migrations
+        ),
+        StopReason::BudgetExhausted => println!(
+            "result   : budget of {max_rounds} rounds exhausted ({} migrations)",
+            outcome.migrations
+        ),
+    }
+    Ok(())
+}
+
+fn cmd_spectral(flags: HashMap<String, String>) -> Result<(), String> {
+    let family = family_of(&flags)?;
+    let graph = family.build();
+    let closed = closed_form::lambda2_family(family);
+    let numeric = laplacian::lambda2(&graph).map_err(|e| e.to_string())?;
+    let diam = selfish_load_balancing::graphs::traversal::diameter(&graph)
+        .ok_or("graph is disconnected")?;
+    println!("family     : {family}");
+    println!("n, |E|, Δ  : {}, {}, {}", graph.node_count(), graph.edge_count(), graph.max_degree());
+    println!("diameter   : {diam}");
+    println!("λ₂ closed  : {closed:.6}");
+    println!("λ₂ numeric : {numeric:.6}");
+    use selfish_load_balancing::spectral::bounds;
+    println!(
+        "bounds     : Fiedler ≤ {:.4}; Mohar ≥ {:.6}; 2Δ ≥ {:.4}",
+        bounds::fiedler_upper(&graph),
+        bounds::mohar_lambda2_lower(graph.node_count(), diam),
+        bounds::two_delta_upper(&graph),
+    );
+    Ok(())
+}
+
+fn cmd_bounds(flags: HashMap<String, String>) -> Result<(), String> {
+    let family = family_of(&flags)?;
+    let graph = family.build();
+    let n = graph.node_count();
+    let tasks_per_node: usize = get(&flags, "tasks-per-node", 32)?;
+    let m = n * tasks_per_node;
+    let inst = theory::Instance::uniform_speeds(
+        n,
+        m,
+        graph.max_degree(),
+        closed_form::lambda2_family(family),
+    );
+    println!("instance : {family}, m = {m} (uniform speeds)");
+    println!("γ        : {:.2}", theory::gamma(&inst));
+    println!("ψ_c      : {:.2}", theory::psi_c(&inst));
+    println!("T = 2γ·ln(m/n)              : {:.1}", theory::t_block(&inst));
+    println!(
+        "Thm 1.1 (E[rounds to Ψ₀≤4ψ_c]) : {:.1}",
+        theory::thm11_expected_rounds(&inst)
+    );
+    if let Some(b) = theory::thm12_expected_rounds(&inst) {
+        println!("Thm 1.2 (E[rounds to exact NE]) : {b:.1}");
+    }
+    let delta = theory::delta_of_instance(&inst);
+    println!(
+        "δ = {:.3} → the reached state is a {:.3}-approximate NE (needs δ > 1)",
+        delta,
+        theory::eps_of_delta(delta)
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "simulate" => parse_flags(rest).and_then(cmd_simulate),
+        "spectral" => parse_flags(rest).and_then(cmd_spectral),
+        "bounds" => parse_flags(rest).and_then(cmd_bounds),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn parse_flags_roundtrip() {
+        let parsed = parse_flags(&[
+            "--family".into(),
+            "torus".into(),
+            "--rows".into(),
+            "5".into(),
+        ])
+        .unwrap();
+        assert_eq!(parsed.get("family").unwrap(), "torus");
+        assert_eq!(parsed.get("rows").unwrap(), "5");
+        assert!(parse_flags(&["oops".into()]).is_err());
+        assert!(parse_flags(&["--key".into()]).is_err());
+    }
+
+    #[test]
+    fn family_parsing() {
+        let f = family_of(&flags(&[("family", "hypercube"), ("d", "3")])).unwrap();
+        assert_eq!(f.node_count(), 8);
+        assert!(family_of(&flags(&[("family", "blob")])).is_err());
+        // Default is a 16-ring.
+        assert_eq!(family_of(&flags(&[])).unwrap().node_count(), 16);
+    }
+
+    #[test]
+    fn speeds_parsing() {
+        let s = speeds_of(&flags(&[("speeds", "alternating:3")]), 6).unwrap();
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.min(), 1.0);
+        assert!(speeds_of(&flags(&[("speeds", "alternating:0")]), 4).is_err());
+        assert!(speeds_of(&flags(&[("speeds", "warp")]), 4).is_err());
+        assert!(speeds_of(&flags(&[]), 4).unwrap().is_uniform());
+    }
+
+    #[test]
+    fn weights_parsing() {
+        let t = tasks_of(&flags(&[("weights", "uniform:0.1..0.5")]), 50, 1).unwrap();
+        assert!(!t.is_uniform());
+        assert!(t.max_weight() <= 0.5);
+        assert!(tasks_of(&flags(&[("weights", "heavy")]), 5, 1).is_err());
+        assert!(tasks_of(&flags(&[]), 5, 1).unwrap().is_uniform());
+    }
+
+    #[test]
+    fn simulate_runs_end_to_end() {
+        cmd_simulate(flags(&[
+            ("family", "ring"),
+            ("n", "6"),
+            ("tasks-per-node", "8"),
+            ("protocol", "alg1"),
+            ("until", "nash"),
+            ("max-rounds", "100000"),
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn spectral_and_bounds_run() {
+        cmd_spectral(flags(&[("family", "torus"), ("rows", "3"), ("cols", "4")])).unwrap();
+        cmd_bounds(flags(&[("family", "hypercube"), ("d", "3")])).unwrap();
+    }
+}
