@@ -1,0 +1,88 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, built on `std::thread::scope`.
+//!
+//! Only `crossbeam::thread::scope` + `Scope::spawn` are provided — the
+//! two entry points the simulation engines use. One behavioral
+//! difference: when a spawned thread panics, `std::thread::scope`
+//! propagates the panic instead of returning `Err`, so the `Result` this
+//! shim returns is always `Ok`. Both callers immediately
+//! `.expect()`/`.unwrap()` the result, making the observable behavior
+//! (a panic naming the worker failure) the same.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope in which borrowed-data threads can be spawned.
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope again (crossbeam's signature), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined
+    /// before this returns.
+    ///
+    /// Always `Ok` (see the crate docs): a panicking worker propagates
+    /// its panic out of this call rather than materializing an `Err`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scope_joins_all_spawned_threads() {
+            let hits = AtomicUsize::new(0);
+            let hits_ref = &hits;
+            super::scope(|scope| {
+                for _ in 0..8 {
+                    scope.spawn(move |_| {
+                        hits_ref.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(hits.load(Ordering::Relaxed), 8);
+        }
+
+        #[test]
+        fn nested_spawn_through_the_passed_scope() {
+            let hits = AtomicUsize::new(0);
+            let hits_ref = &hits;
+            super::scope(|scope| {
+                scope.spawn(move |inner| {
+                    inner.spawn(move |_| {
+                        hits_ref.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            })
+            .unwrap();
+            assert_eq!(hits.load(Ordering::Relaxed), 1);
+        }
+
+        #[test]
+        fn scope_returns_the_closure_value() {
+            let v = super::scope(|_| 42).unwrap();
+            assert_eq!(v, 42);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Test-runner plumbing: configuration, the per-case RNG, and rejection.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Marker returned by [`crate::prop_assume!`] when a case is rejected.
+#[derive(Debug, Clone, Copy)]
+pub struct Reject;
+
+/// FNV-1a over the test's identity, so every test gets its own
+/// deterministic stream.
+pub fn case_seed(file: &str, line: u32, name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in file.bytes().chain(name.bytes()).chain(line.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The generator handed to strategies; deterministic per `(seed, case)`.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for case number `case` of a test with identity seed
+    /// `base`.
+    pub fn for_case(base: u64, case: u32) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(
+                base ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1)),
+            ),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_distinguish_tests_and_cases() {
+        let a = case_seed("a.rs", 1, "t");
+        assert_eq!(a, case_seed("a.rs", 1, "t"));
+        assert_ne!(a, case_seed("a.rs", 2, "t"));
+        assert_ne!(a, case_seed("a.rs", 1, "u"));
+        let mut r1 = TestRng::for_case(a, 0);
+        let mut r2 = TestRng::for_case(a, 1);
+        assert_ne!(r1.next_u64(), r2.next_u64());
+    }
+}

@@ -112,11 +112,14 @@ fn tasks_of(flags: &HashMap<String, String>, m: usize, seed: u64) -> Result<Task
             let range = spec
                 .strip_prefix("uniform:")
                 .and_then(|s| s.split_once(".."))
-                .ok_or_else(|| {
-                    format!("invalid --weights `{spec}` (use unit|uniform:LO..HI)")
-                })?;
+                .ok_or_else(|| format!("invalid --weights `{spec}` (use unit|uniform:LO..HI)"))?;
             let lo: f64 = range.0.parse().map_err(|_| "bad weight lower bound")?;
             let hi: f64 = range.1.parse().map_err(|_| "bad weight upper bound")?;
+            if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+                return Err(format!(
+                    "invalid --weights range `{spec}` (need LO ≤ HI, finite)"
+                ));
+            }
             use rand::Rng;
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x77);
             TaskSet::weighted((0..m).map(|_| rng.gen_range(lo..=hi)).collect())
@@ -163,7 +166,10 @@ fn cmd_simulate(flags: HashMap<String, String>) -> Result<(), String> {
         system.speeds().max()
     );
     let start = potential::report(&system, &initial);
-    println!("start    : Ψ₀ = {:.2}, L_Δ = {:.3}", start.psi0, start.max_load_deviation);
+    println!(
+        "start    : Ψ₀ = {:.2}, L_Δ = {:.3}",
+        start.psi0, start.max_load_deviation
+    );
 
     let outcome = match protocol_name {
         "alg1" => Simulation::new(&system, SelfishUniform::new(), initial, seed)
@@ -200,7 +206,12 @@ fn cmd_spectral(flags: HashMap<String, String>) -> Result<(), String> {
     let diam = selfish_load_balancing::graphs::traversal::diameter(&graph)
         .ok_or("graph is disconnected")?;
     println!("family     : {family}");
-    println!("n, |E|, Δ  : {}, {}, {}", graph.node_count(), graph.edge_count(), graph.max_degree());
+    println!(
+        "n, |E|, Δ  : {}, {}, {}",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.max_degree()
+    );
     println!("diameter   : {diam}");
     println!("λ₂ closed  : {closed:.6}");
     println!("λ₂ numeric : {numeric:.6}");
@@ -229,7 +240,10 @@ fn cmd_bounds(flags: HashMap<String, String>) -> Result<(), String> {
     println!("instance : {family}, m = {m} (uniform speeds)");
     println!("γ        : {:.2}", theory::gamma(&inst));
     println!("ψ_c      : {:.2}", theory::psi_c(&inst));
-    println!("T = 2γ·ln(m/n)              : {:.1}", theory::t_block(&inst));
+    println!(
+        "T = 2γ·ln(m/n)              : {:.1}",
+        theory::t_block(&inst)
+    );
     println!(
         "Thm 1.1 (E[rounds to Ψ₀≤4ψ_c]) : {:.1}",
         theory::thm11_expected_rounds(&inst)

@@ -1,0 +1,163 @@
+//! End-to-end tests of the `slb` binary: exit codes and usage output for
+//! bad invocations, plus one smoke run per subcommand.
+
+use std::process::{Command, Output};
+
+fn slb(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_slb"))
+        .args(args)
+        .output()
+        .expect("failed to launch slb")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let out = slb(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("USAGE:"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn help_succeeds_and_prints_usage() {
+    for flag in ["--help", "-h", "help"] {
+        let out = slb(&[flag]);
+        assert!(out.status.success(), "`slb {flag}` must exit zero");
+        assert!(stdout(&out).contains("USAGE:"));
+        assert!(stdout(&out).contains("simulate"));
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = slb(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown command"), "stderr: {err}");
+    assert!(err.contains("USAGE:"));
+}
+
+#[test]
+fn bad_flag_values_fail_nonzero() {
+    // Non-flag argument where a flag is expected.
+    let out = slb(&["simulate", "oops"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("expected --flag"));
+
+    // Flag missing its value.
+    let out = slb(&["simulate", "--n"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("needs a value"));
+
+    // Unparsable numeric value.
+    let out = slb(&["simulate", "--n", "many"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("invalid value"));
+
+    // Unknown topology family.
+    let out = slb(&["spectral", "--family", "blob"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown family"));
+
+    // Inverted weights range must fail cleanly, not panic.
+    let out = slb(&["simulate", "--n", "4", "--weights", "uniform:5..2"]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1), "must exit 1, not panic");
+    assert!(stderr(&out).contains("invalid --weights range"));
+
+    // Unknown protocol.
+    let out = slb(&[
+        "simulate",
+        "--family",
+        "ring",
+        "--n",
+        "4",
+        "--protocol",
+        "teleport",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown protocol"));
+}
+
+#[test]
+fn simulate_smoke_run_reaches_nash() {
+    let out = slb(&[
+        "simulate",
+        "--family",
+        "ring",
+        "--n",
+        "8",
+        "--tasks-per-node",
+        "8",
+        "--protocol",
+        "alg1",
+        "--until",
+        "nash",
+        "--seed",
+        "7",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("instance : ring(n=8), m = 64"),
+        "stdout: {text}"
+    );
+    assert!(text.contains("condition met"), "stdout: {text}");
+}
+
+#[test]
+fn spectral_smoke_run_prints_lambda2() {
+    let out = slb(&[
+        "spectral", "--family", "torus", "--rows", "3", "--cols", "4",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("λ₂ closed"), "stdout: {text}");
+    assert!(text.contains("λ₂ numeric"), "stdout: {text}");
+    assert!(text.contains("diameter"), "stdout: {text}");
+}
+
+#[test]
+fn bounds_smoke_run_prints_theorem_bounds() {
+    let out = slb(&[
+        "bounds",
+        "--family",
+        "hypercube",
+        "--d",
+        "3",
+        "--tasks-per-node",
+        "16",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Thm 1.1"), "stdout: {text}");
+    assert!(text.contains("ψ_c"), "stdout: {text}");
+}
+
+#[test]
+fn deterministic_given_a_seed() {
+    let args = [
+        "simulate",
+        "--family",
+        "ring",
+        "--n",
+        "6",
+        "--tasks-per-node",
+        "4",
+        "--until",
+        "nash",
+        "--seed",
+        "123",
+    ];
+    let a = slb(&args);
+    let b = slb(&args);
+    assert!(a.status.success());
+    assert_eq!(stdout(&a), stdout(&b), "same seed must reproduce the run");
+}
