@@ -12,6 +12,9 @@
 //!   Table 1 bound shapes of this paper and of the \[6\] baseline,
 //! * [`runner`] — seeded multi-trial execution (optionally parallel) and
 //!   the canonical uniform-task convergence measurement,
+//! * [`sweep`] — the protocol-generic sweep engine: executes declarative
+//!   [`SweepSpec`](slb_workloads::SweepSpec) grids across all five
+//!   protocols and renders deterministic CSV/JSON artifacts,
 //! * [`tables`] — markdown/CSV rendering and `target/experiments/`
 //!   artifact handling.
 //!
@@ -40,5 +43,6 @@
 pub mod convergence;
 pub mod runner;
 pub mod stats;
+pub mod sweep;
 pub mod tables;
 pub mod theory;

@@ -1,9 +1,11 @@
 //! Multi-trial experiment execution.
 //!
 //! Every reported number in EXPERIMENTS.md is a mean over independent
-//! seeded trials; [`run_trials`] executes those trials (optionally across
-//! threads — trials are embarrassingly parallel) with per-trial seeds
-//! derived from a base seed, and [`measure_uniform_convergence`] implements
+//! seeded trials; [`run_cell_trials`] executes whole grids of them
+//! (optionally across threads — trials are embarrassingly parallel) with
+//! seeds derived per `(cell, trial)` pair from a base seed,
+//! [`run_trials`] is its single-cell convenience form, and
+//! [`measure_uniform_convergence`] implements
 //! the core Table 1 measurement: rounds until `Ψ₀ ≤ 4ψ_c` or until an
 //! exact Nash equilibrium, for a graph family at a given size.
 
@@ -48,8 +50,76 @@ impl TrialConfig {
     }
 }
 
+/// Runs `trials` independent evaluations of `f` for every cell in
+/// `cell_keys`, fanning the flattened `(cell, trial)` work items out
+/// across `threads` worker threads. Trial `t` of the cell with key `k`
+/// receives the seed `derive_seed(base_seed, k, t)` — a pure function of
+/// the `(base seed, cell key, trial)` triple, so results are independent
+/// of the thread count and of how work items interleave.
+///
+/// `f` is called as `f(cell_position, trial, seed)` where `cell_position`
+/// indexes into `cell_keys`; results come back grouped per cell, in trial
+/// order.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `threads == 0`, or if a worker panics.
+pub fn run_cell_trials<R, F>(
+    cell_keys: &[u64],
+    trials: usize,
+    base_seed: u64,
+    threads: usize,
+    f: F,
+) -> Vec<Vec<R>>
+where
+    F: Fn(usize, usize, u64) -> R + Sync,
+    R: Send,
+{
+    assert!(trials > 0, "need at least one trial");
+    assert!(threads > 0, "need at least one thread");
+    let total = cell_keys.len() * trials;
+    let slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f_ref = &f;
+    let slots_ref = &slots;
+    let next_ref = &next;
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(total.max(1)) {
+            scope.spawn(move |_| loop {
+                let item = next_ref.fetch_add(1, Ordering::Relaxed);
+                if item >= total {
+                    break;
+                }
+                let (cell, trial) = (item / trials, item % trials);
+                let seed = derive_seed(base_seed, cell_keys[cell], trial as u64);
+                *slots_ref[item].lock().expect("no poisoned trial slot") =
+                    Some(f_ref(cell, trial, seed));
+            });
+        }
+    })
+    .expect("trial worker panicked");
+    let mut flat: Vec<R> = slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("no poisoned trial slot")
+                .expect("every work item was executed")
+        })
+        .collect();
+    let mut grouped = Vec::with_capacity(cell_keys.len());
+    for _ in 0..cell_keys.len() {
+        let rest = flat.split_off(trials);
+        grouped.push(flat);
+        flat = rest;
+    }
+    grouped
+}
+
 /// Runs `config.trials` independent evaluations of `f` (one per derived
 /// seed) and returns the observations in trial order.
+///
+/// Single-cell convenience wrapper over [`run_cell_trials`] (cell key 0,
+/// so trial `t` keeps its historical seed `derive_seed(base_seed, 0, t)`).
 ///
 /// # Panics
 ///
@@ -59,30 +129,15 @@ pub fn run_trials<F>(config: TrialConfig, f: F) -> Vec<f64>
 where
     F: Fn(u64) -> f64 + Sync,
 {
-    assert!(config.trials > 0, "need at least one trial");
-    assert!(config.threads > 0, "need at least one thread");
-    let results: Vec<Mutex<f64>> = (0..config.trials).map(|_| Mutex::new(f64::NAN)).collect();
-    let next = AtomicUsize::new(0);
-    let f_ref = &f;
-    let results_ref = &results;
-    let next_ref = &next;
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..config.threads.min(config.trials) {
-            scope.spawn(move |_| loop {
-                let t = next_ref.fetch_add(1, Ordering::Relaxed);
-                if t >= config.trials {
-                    break;
-                }
-                let seed = derive_seed(config.base_seed, 0, t as u64);
-                *results_ref[t].lock().expect("no poisoned trial slot") = f_ref(seed);
-            });
-        }
-    })
-    .expect("trial worker panicked");
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("no poisoned trial slot"))
-        .collect()
+    run_cell_trials(
+        &[0],
+        config.trials,
+        config.base_seed,
+        config.threads,
+        |_, _, seed| f(seed),
+    )
+    .pop()
+    .expect("one cell was requested")
 }
 
 /// Convergence target for [`measure_uniform_convergence`].
@@ -228,6 +283,29 @@ mod tests {
         // Different base seed changes the sample.
         let c = run_trials(TrialConfig::sequential(8, 100), |seed| (seed % 1000) as f64);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cell_trials_group_and_seed_stably() {
+        let f = |cell: usize, trial: usize, seed: u64| (cell, trial, seed);
+        let keys = [3u64, 9, 27];
+        let a = run_cell_trials(&keys, 4, 11, 1, f);
+        let b = run_cell_trials(&keys, 4, 11, 8, f);
+        assert_eq!(a, b, "thread count must not change results");
+        assert_eq!(a.len(), 3);
+        for (cell, group) in a.iter().enumerate() {
+            assert_eq!(group.len(), 4);
+            for (trial, &(c, t, seed)) in group.iter().enumerate() {
+                assert_eq!((c, t), (cell, trial));
+                assert_eq!(seed, derive_seed(11, keys[cell], trial as u64));
+            }
+        }
+        // All (cell, trial) seeds are distinct.
+        let seeds: std::collections::HashSet<u64> =
+            a.iter().flatten().map(|&(_, _, s)| s).collect();
+        assert_eq!(seeds.len(), 12);
+        // No cells at all is a valid (empty) request.
+        assert!(run_cell_trials(&[], 2, 1, 2, f).is_empty());
     }
 
     #[test]

@@ -166,6 +166,39 @@ mod tests {
     }
 
     #[test]
+    fn summary_single_trial_is_degenerate_but_complete() {
+        // One trial (the smallest legal sweep cell): every statistic is
+        // the observation itself and the spread is exactly zero, so CSV
+        // rows never carry NaN.
+        let s = Summary::of(&[42.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!((s.mean, s.median, s.min, s.max), (42.5, 42.5, 42.5, 42.5));
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn summary_all_equal_samples_have_zero_spread() {
+        // All-equal observations (e.g. a deterministic protocol swept over
+        // identical seeds): zero variance with no floating-point residue.
+        let s = Summary::of(&[13.0; 64]);
+        assert_eq!(s.count, 64);
+        assert_eq!(s.mean, 13.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 13.0);
+        assert_eq!(s.max, 13.0);
+        assert_eq!(s.median, 13.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "summary of sample containing NaN")]
+    fn summary_rejects_nan() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
     fn exact_line_fit() {
         let x = [1.0, 2.0, 3.0, 4.0];
         let y = [3.0, 5.0, 7.0, 9.0];

@@ -1,0 +1,821 @@
+//! The protocol-generic sweep engine: executes a declarative
+//! [`SweepSpec`] grid end-to-end and renders schema-stable CSV/JSON.
+//!
+//! For every cell of the grid the engine
+//!
+//! 1. builds the scenario (topology × speeds × weights × placement) from
+//!    a per-trial seed derived with
+//!    [`derive_seed`]`(base_seed, cell_index, trial)`,
+//! 2. dispatches to the right simulation engine automatically —
+//!    [`UniformFastSim`] for Algorithm 1 on uniform tasks (the `O(|E|)`
+//!    multinomial path), the deterministic chunk-seeded schedule of
+//!    [`ParallelSimulation`]
+//!    for the per-task protocols (Algorithm 2, the \[6\] baseline), and the
+//!    sequential [`Simulation`] for the deterministic protocols (diffusion,
+//!    best response),
+//! 3. fans the flattened `(cell, trial)` work items out across threads via
+//!    [`run_cell_trials`], and
+//! 4. aggregates per-cell [`Summary`] rows.
+//!
+//! Because every trial's randomness is a pure function of
+//! `(base seed, cell index, trial)` and each trial runs on one thread,
+//! the sweep artifact is **byte-identical for the same seed regardless of
+//! the thread count** — the property the golden-file tests pin down.
+//!
+//! Cells whose protocol cannot run their task mode (Algorithm 1 is
+//! defined for uniform tasks only) still appear in the artifact, marked
+//! `unsupported` with zeroed metrics, so the row set of a grid is always
+//! its full cartesian product.
+
+use crate::runner::run_cell_trials;
+use crate::stats::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slb_core::engine::parallel::{ParallelSimulation, DEFAULT_CHUNK_SIZE};
+use slb_core::engine::uniform_fast::{CountState, UniformFastSim};
+use slb_core::engine::{Simulation, StopCondition, StopReason};
+use slb_core::equilibrium::{self, Threshold};
+use slb_core::model::System;
+use slb_core::potential;
+use slb_core::protocol::{
+    Alpha, BestResponse, BhsBaseline, Diffusion, SelfishWeighted, TaskProtocol,
+};
+use slb_core::rng::derive_seed;
+use slb_workloads::placement::Placement;
+use slb_workloads::scenario;
+use slb_workloads::sweep::{
+    family_grid_label, placement_grid_label, speeds_grid_label, weights_grid_label, CellSpec,
+    ProtocolKind, StopRule, SweepSpec,
+};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Which engine a cell is dispatched to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Count-based multinomial path (Algorithm 1, uniform tasks).
+    UniformFast,
+    /// Deterministic chunk-seeded per-task schedule (Algorithm 2, BHS).
+    ParallelChunked,
+    /// Sequential engine (diffusion, best response).
+    Sequential,
+    /// The protocol cannot run this task mode; no trials executed.
+    Unsupported,
+}
+
+impl EngineKind {
+    /// The label used in the CSV `engine` column.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::UniformFast => "uniform-fast",
+            EngineKind::ParallelChunked => "parallel-chunked",
+            EngineKind::Sequential => "sequential",
+            EngineKind::Unsupported => "unsupported",
+        }
+    }
+
+    /// The engine a cell dispatches to (a pure function of the cell).
+    pub fn for_cell(cell: &CellSpec) -> EngineKind {
+        match cell.protocol {
+            ProtocolKind::Alg1 if cell.is_uniform_tasks() => EngineKind::UniformFast,
+            ProtocolKind::Alg1 => EngineKind::Unsupported,
+            ProtocolKind::Alg2 | ProtocolKind::Bhs => EngineKind::ParallelChunked,
+            ProtocolKind::Diffusion | ProtocolKind::BestResponse => EngineKind::Sequential,
+        }
+    }
+}
+
+/// Aggregated metrics of one executed cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellStats {
+    /// Fraction of trials that met the stop rule within the budget.
+    pub reached_fraction: f64,
+    /// Rounds to the stop rule (budget value for censored trials).
+    pub rounds: Summary,
+    /// Total migrations per trial.
+    pub migrations: Summary,
+    /// `Ψ₀` of the final state per trial.
+    pub psi0_final: Summary,
+}
+
+/// One row of the sweep artifact.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Cell index in grid order (also the seed-derivation key).
+    pub index: usize,
+    /// The configuration measured.
+    pub spec: CellSpec,
+    /// Nodes of the built topology.
+    pub n: usize,
+    /// Tasks (`tasks_per_node · n`).
+    pub m: usize,
+    /// Engine the cell dispatched to.
+    pub engine: EngineKind,
+    /// Metrics; `None` for unsupported cells.
+    pub stats: Option<CellStats>,
+}
+
+/// A fully executed sweep: per-cell rows plus the run parameters that a
+/// schema-stable artifact must echo.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Base seed of the run.
+    pub base_seed: u64,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Round budget per trial.
+    pub max_rounds: u64,
+    /// Per-cell results, in grid order.
+    pub cells: Vec<CellResult>,
+}
+
+/// Execution parameters of a sweep run (everything *not* in the spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Base seed; trial `t` of cell `c` uses `derive_seed(base_seed, c, t)`.
+    pub base_seed: u64,
+    /// Worker threads for the trial fan-out (1 = sequential). Results do
+    /// not depend on this value.
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// A sequential configuration.
+    pub fn sequential(base_seed: u64) -> Self {
+        SweepConfig {
+            base_seed,
+            threads: 1,
+        }
+    }
+
+    /// A parallel configuration using the available cores.
+    pub fn parallel(base_seed: u64) -> Self {
+        SweepConfig {
+            base_seed,
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        }
+    }
+}
+
+/// An error preparing a sweep (the grid parsed, but a cell cannot be
+/// built).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepRunError(String);
+
+impl fmt::Display for SweepRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sweep error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SweepRunError {}
+
+/// Validates that every cell of the spec can actually be built (graph
+/// sizes respect family minimums, placement nodes are in range).
+///
+/// # Errors
+///
+/// Returns a [`SweepRunError`] naming the first invalid cell.
+pub fn validate(spec: &SweepSpec) -> Result<(), SweepRunError> {
+    for cell in spec.cells() {
+        let n = cell.graph.node_count();
+        let min = match cell.graph {
+            slb_graphs::generators::Family::Ring { .. } => 3,
+            slb_graphs::generators::Family::Torus { rows, cols } => {
+                if rows < 3 || cols < 3 {
+                    return Err(SweepRunError(format!(
+                        "graph `{}` needs both torus dimensions ≥ 3",
+                        family_grid_label(cell.graph)
+                    )));
+                }
+                9
+            }
+            slb_graphs::generators::Family::Star { .. } => 2,
+            _ => 1,
+        };
+        if n < min {
+            return Err(SweepRunError(format!(
+                "graph `{}` is below the family's minimum size ({min} nodes)",
+                family_grid_label(cell.graph)
+            )));
+        }
+        if let Placement::AllOnNode(v) = cell.placement {
+            if v >= n {
+                return Err(SweepRunError(format!(
+                    "placement `node:{v}` is out of range for `{}` ({n} nodes)",
+                    family_grid_label(cell.graph)
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One trial's raw observations.
+#[derive(Debug, Clone, Copy)]
+struct RawTrial {
+    rounds: u64,
+    reached: bool,
+    migrations: u64,
+    psi0_final: f64,
+}
+
+/// The uniform per-round interface the stop-rule driver runs against.
+trait CellEngine {
+    fn step(&mut self) -> u64;
+    fn is_nash(&self) -> bool;
+    fn psi0(&self) -> f64;
+}
+
+struct FastEngine<'a>(UniformFastSim<'a>);
+
+impl CellEngine for FastEngine<'_> {
+    fn step(&mut self) -> u64 {
+        self.0.step()
+    }
+    fn is_nash(&self) -> bool {
+        self.0.is_nash()
+    }
+    fn psi0(&self) -> f64 {
+        self.0.psi0()
+    }
+}
+
+struct ChunkedEngine<'a, P: TaskProtocol> {
+    sim: ParallelSimulation<'a, P>,
+    system: &'a System,
+    threshold: Threshold,
+}
+
+impl<P: TaskProtocol> CellEngine for ChunkedEngine<'_, P> {
+    fn step(&mut self) -> u64 {
+        self.sim.step().migrations as u64
+    }
+    fn is_nash(&self) -> bool {
+        equilibrium::is_nash(self.system, self.sim.state(), self.threshold)
+    }
+    fn psi0(&self) -> f64 {
+        potential::psi0(
+            self.sim.state().node_weights(),
+            self.system.speeds(),
+            self.system.tasks().total_weight(),
+        )
+    }
+}
+
+/// Runs a sequential-engine protocol through the core run loop
+/// ([`Simulation::run_until`]) — the same stop semantics `slb simulate`
+/// uses — and extracts the trial observations from its outcome.
+fn run_sequential<P: slb_core::protocol::Protocol>(
+    system: &System,
+    protocol: P,
+    initial: slb_core::model::TaskState,
+    sim_seed: u64,
+    stop: StopRule,
+    threshold: Threshold,
+    max_rounds: u64,
+) -> RawTrial {
+    let condition = match stop {
+        StopRule::Nash => StopCondition::Nash(threshold),
+        StopRule::Quiescent(k) => StopCondition::Quiescent(k),
+        StopRule::Psi0Below(b) => StopCondition::Psi0Below(b),
+    };
+    let mut sim = Simulation::new(system, protocol, initial, sim_seed);
+    let outcome = sim.run_until(condition, max_rounds);
+    RawTrial {
+        rounds: outcome.rounds,
+        reached: outcome.reason == StopReason::ConditionMet,
+        migrations: outcome.migrations,
+        psi0_final: potential::psi0(
+            sim.state().node_weights(),
+            system.speeds(),
+            system.tasks().total_weight(),
+        ),
+    }
+}
+
+/// Runs one engine to the stop rule, mirroring the semantics of
+/// [`Simulation::run_until`]: the rule is checked before every round (a
+/// satisfied initial state costs zero rounds) and once more when the
+/// budget runs out.
+fn drive<E: CellEngine>(engine: &mut E, stop: StopRule, max_rounds: u64) -> RawTrial {
+    let mut quiet = 0u64;
+    let mut migrations = 0u64;
+    for executed in 0..=max_rounds {
+        let met = match stop {
+            StopRule::Quiescent(need) => quiet >= need,
+            StopRule::Nash => engine.is_nash(),
+            StopRule::Psi0Below(bound) => engine.psi0() <= bound,
+        };
+        if met {
+            return RawTrial {
+                rounds: executed,
+                reached: true,
+                migrations,
+                psi0_final: engine.psi0(),
+            };
+        }
+        if executed == max_rounds {
+            break;
+        }
+        let moved = engine.step();
+        migrations += moved;
+        if moved == 0 {
+            quiet += 1;
+        } else {
+            quiet = 0;
+        }
+    }
+    RawTrial {
+        rounds: max_rounds,
+        reached: false,
+        migrations,
+        psi0_final: engine.psi0(),
+    }
+}
+
+/// Executes one trial of one cell. The trial seed is split into a
+/// scenario stream (speeds/weights/placement sampling) and a simulation
+/// stream, so engine choice and scenario construction cannot alias.
+fn run_trial(cell: &CellSpec, engine: EngineKind, trial_seed: u64, max_rounds: u64) -> RawTrial {
+    let scenario_seed = derive_seed(trial_seed, 0, 0);
+    let sim_seed = derive_seed(trial_seed, 0, 1);
+    let graph = cell.graph.build();
+    let mut rng = StdRng::seed_from_u64(scenario_seed);
+    let built = scenario::build(
+        graph,
+        cell.speeds,
+        cell.weights,
+        cell.placement,
+        cell.tasks_per_node,
+        &mut rng,
+    )
+    .expect("validated cells build");
+    let system = &built.system;
+    let threshold = if system.tasks().is_uniform() {
+        Threshold::UnitWeight
+    } else {
+        Threshold::LightestTask
+    };
+    match engine {
+        EngineKind::UniformFast => {
+            let counts: Vec<u64> = (0..system.node_count())
+                .map(|v| built.initial.node_task_count(slb_graphs::NodeId(v)) as u64)
+                .collect();
+            let sim = UniformFastSim::new(
+                system,
+                Alpha::Approximate,
+                CountState::new(counts),
+                sim_seed,
+            );
+            drive(&mut FastEngine(sim), cell.stop, max_rounds)
+        }
+        EngineKind::ParallelChunked => {
+            // One worker thread inside the trial (the sweep parallelizes
+            // across trials); the chunk-seeded schedule makes the
+            // trajectory identical under any intra-trial thread count.
+            let layout = |p| {
+                ParallelSimulation::with_layout(
+                    system,
+                    p,
+                    built.initial.clone(),
+                    sim_seed,
+                    DEFAULT_CHUNK_SIZE,
+                    1,
+                )
+            };
+            match cell.protocol {
+                ProtocolKind::Alg2 => drive(
+                    &mut ChunkedEngine {
+                        sim: layout(SelfishWeighted::new()),
+                        system,
+                        threshold,
+                    },
+                    cell.stop,
+                    max_rounds,
+                ),
+                ProtocolKind::Bhs => drive(
+                    &mut ChunkedEngine {
+                        sim: ParallelSimulation::with_layout(
+                            system,
+                            BhsBaseline::new(),
+                            built.initial.clone(),
+                            sim_seed,
+                            DEFAULT_CHUNK_SIZE,
+                            1,
+                        ),
+                        system,
+                        threshold,
+                    },
+                    cell.stop,
+                    max_rounds,
+                ),
+                _ => unreachable!("dispatch table covers the chunked protocols"),
+            }
+        }
+        EngineKind::Sequential => match cell.protocol {
+            ProtocolKind::Diffusion => run_sequential(
+                system,
+                Diffusion::new(),
+                built.initial.clone(),
+                sim_seed,
+                cell.stop,
+                threshold,
+                max_rounds,
+            ),
+            ProtocolKind::BestResponse => run_sequential(
+                system,
+                BestResponse::new(),
+                built.initial.clone(),
+                sim_seed,
+                cell.stop,
+                threshold,
+                max_rounds,
+            ),
+            _ => unreachable!("dispatch table covers the sequential protocols"),
+        },
+        EngineKind::Unsupported => unreachable!("unsupported cells are never executed"),
+    }
+}
+
+/// Executes a sweep: every cell of the grid, `spec.trials` seeded trials
+/// each, fanned out over `config.threads` threads.
+///
+/// # Errors
+///
+/// Returns a [`SweepRunError`] if a cell cannot be built (see
+/// [`validate`]).
+///
+/// # Panics
+///
+/// Panics if `config.threads == 0` or `spec.trials == 0`.
+pub fn run_sweep(spec: &SweepSpec, config: SweepConfig) -> Result<SweepOutcome, SweepRunError> {
+    validate(spec)?;
+    let cells = spec.cells();
+    let supported: Vec<(usize, CellSpec)> = cells
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(_, c)| c.is_supported())
+        .collect();
+    let keys: Vec<u64> = supported.iter().map(|(i, _)| *i as u64).collect();
+    let trials = run_cell_trials(
+        &keys,
+        spec.trials,
+        config.base_seed,
+        config.threads,
+        |pos, _trial, seed| {
+            let cell = &supported[pos].1;
+            run_trial(cell, EngineKind::for_cell(cell), seed, spec.max_rounds)
+        },
+    );
+
+    let mut executed = supported.iter().zip(trials);
+    let results = cells
+        .iter()
+        .enumerate()
+        .map(|(index, &cell)| {
+            let engine = EngineKind::for_cell(&cell);
+            let n = cell.graph.node_count();
+            let stats = if engine == EngineKind::Unsupported {
+                None
+            } else {
+                let (_, raw) = executed
+                    .next()
+                    .expect("one result group per supported cell");
+                let rounds: Vec<f64> = raw.iter().map(|t| t.rounds as f64).collect();
+                let migrations: Vec<f64> = raw.iter().map(|t| t.migrations as f64).collect();
+                let psi0: Vec<f64> = raw.iter().map(|t| t.psi0_final).collect();
+                Some(CellStats {
+                    reached_fraction: raw.iter().filter(|t| t.reached).count() as f64
+                        / raw.len() as f64,
+                    rounds: Summary::of(&rounds),
+                    migrations: Summary::of(&migrations),
+                    psi0_final: Summary::of(&psi0),
+                })
+            };
+            CellResult {
+                index,
+                spec: cell,
+                n,
+                m: n * cell.tasks_per_node,
+                engine,
+                stats,
+            }
+        })
+        .collect();
+    Ok(SweepOutcome {
+        base_seed: config.base_seed,
+        trials: spec.trials,
+        max_rounds: spec.max_rounds,
+        cells: results,
+    })
+}
+
+/// The exact header line of the sweep CSV artifact (schema-stable; the
+/// golden-file tests and external figure scripts both key on it).
+pub const CSV_HEADER: &str = "cell,graph,n,m,protocol,engine,speeds,weights,placement,until,\
+                              trials,base_seed,max_rounds,reached_fraction,rounds_mean,\
+                              rounds_std,rounds_min,rounds_median,rounds_max,migrations_mean,\
+                              psi0_final_mean";
+
+impl CellStats {
+    /// The all-zero statistics block emitted for unsupported cells, so
+    /// CSV and JSON rows keep a homogeneous schema across the whole grid.
+    fn zeroed() -> CellStats {
+        let zero = Summary {
+            count: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+            median: 0.0,
+        };
+        CellStats {
+            reached_fraction: 0.0,
+            rounds: zero,
+            migrations: zero,
+            psi0_final: zero,
+        }
+    }
+}
+
+impl SweepOutcome {
+    /// Renders the sweep as deterministic CSV: [`CSV_HEADER`] followed by
+    /// one row per cell in grid order. Floats use Rust's shortest
+    /// round-trip formatting, so the artifact is byte-stable across runs,
+    /// thread counts, and platforms.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for cell in &self.cells {
+            let zero = CellStats::zeroed();
+            let s = cell.stats.as_ref().unwrap_or(&zero);
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                cell.index,
+                family_grid_label(cell.spec.graph),
+                cell.n,
+                cell.m,
+                cell.spec.protocol.grid_label(),
+                cell.engine.label(),
+                speeds_grid_label(cell.spec.speeds),
+                weights_grid_label(cell.spec.weights),
+                placement_grid_label(cell.spec.placement),
+                cell.spec.stop.grid_label(),
+                if cell.stats.is_some() { self.trials } else { 0 },
+                self.base_seed,
+                self.max_rounds,
+                s.reached_fraction,
+                s.rounds.mean,
+                s.rounds.std_dev,
+                s.rounds.min,
+                s.rounds.median,
+                s.rounds.max,
+                s.migrations.mean,
+                s.psi0_final.mean,
+            );
+        }
+        out
+    }
+
+    /// Renders the sweep as a JSON array: one object per cell with the
+    /// same fields as the CSV columns (plus nested round statistics), and
+    /// an identical schema for every object — unsupported cells carry
+    /// zeroed metrics, exactly as in the CSV.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "  {{\"cell\":{},\"graph\":\"{}\",\"n\":{},\"m\":{},\"protocol\":\"{}\",\
+                 \"engine\":\"{}\",\"speeds\":\"{}\",\"weights\":\"{}\",\"placement\":\"{}\",\
+                 \"until\":\"{}\",\"trials\":{},\"base_seed\":{},\"max_rounds\":{}",
+                cell.index,
+                family_grid_label(cell.spec.graph),
+                cell.n,
+                cell.m,
+                cell.spec.protocol.grid_label(),
+                cell.engine.label(),
+                speeds_grid_label(cell.spec.speeds),
+                weights_grid_label(cell.spec.weights),
+                placement_grid_label(cell.spec.placement),
+                cell.spec.stop.grid_label(),
+                if cell.stats.is_some() { self.trials } else { 0 },
+                self.base_seed,
+                self.max_rounds,
+            );
+            // Unsupported cells emit the same fields zeroed, so every
+            // object in the array has an identical schema.
+            let zero = CellStats::zeroed();
+            let s = cell.stats.as_ref().unwrap_or(&zero);
+            let _ = write!(
+                out,
+                ",\"reached_fraction\":{},\"rounds\":{{\"mean\":{},\"std\":{},\"min\":{},\
+                 \"median\":{},\"max\":{}}},\"migrations_mean\":{},\"psi0_final_mean\":{}",
+                s.reached_fraction,
+                s.rounds.mean,
+                s.rounds.std_dev,
+                s.rounds.min,
+                s.rounds.median,
+                s.rounds.max,
+                s.migrations.mean,
+                s.psi0_final.mean,
+            );
+            out.push('}');
+            if i + 1 < self.cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(tokens: &[&str]) -> SweepSpec {
+        SweepSpec::parse(tokens).unwrap()
+    }
+
+    #[test]
+    fn engine_dispatch_table() {
+        let spec = small_spec(&[
+            "protocol=alg1,alg2,bhs,diffusion,best-response",
+            "weights=unit,uniform:0.2..0.9",
+        ]);
+        let engines: Vec<EngineKind> = spec.cells().iter().map(EngineKind::for_cell).collect();
+        // Weights is an outer axis relative to protocol: all five
+        // protocols on unit weights first, then on weighted tasks.
+        assert_eq!(
+            engines,
+            vec![
+                EngineKind::UniformFast,
+                EngineKind::ParallelChunked,
+                EngineKind::ParallelChunked,
+                EngineKind::Sequential,
+                EngineKind::Sequential,
+                EngineKind::Unsupported,
+                EngineKind::ParallelChunked,
+                EngineKind::ParallelChunked,
+                EngineKind::Sequential,
+                EngineKind::Sequential,
+            ]
+        );
+    }
+
+    #[test]
+    fn default_sweep_runs_and_reaches_nash() {
+        let mut spec = SweepSpec::default();
+        spec.tasks_per_node = vec![8];
+        spec.trials = 2;
+        spec.max_rounds = 100_000;
+        let out = run_sweep(&spec, SweepConfig::sequential(7)).unwrap();
+        assert_eq!(out.cells.len(), 1);
+        let stats = out.cells[0].stats.as_ref().unwrap();
+        assert_eq!(stats.reached_fraction, 1.0);
+        assert!(stats.rounds.max < 100_000.0);
+        assert!(stats.migrations.min > 0.0, "hot start must move tasks");
+        assert_eq!(out.cells[0].engine, EngineKind::UniformFast);
+    }
+
+    #[test]
+    fn all_five_protocols_and_both_modes_in_one_grid() {
+        let spec = small_spec(&[
+            "graph=ring:6",
+            "tasks-per-node=6",
+            "protocol=alg1,alg2,bhs,diffusion,best-response",
+            "weights=unit,uniform:0.2..0.9",
+            "until=quiescent:20",
+            "trials=2",
+            "max-rounds=20000",
+        ]);
+        let out = run_sweep(&spec, SweepConfig::parallel(3)).unwrap();
+        assert_eq!(out.cells.len(), 10);
+        for cell in &out.cells {
+            if cell.engine == EngineKind::Unsupported {
+                assert_eq!(cell.spec.protocol, ProtocolKind::Alg1);
+                assert!(!cell.spec.is_uniform_tasks());
+                assert!(cell.stats.is_none());
+            } else {
+                let s = cell.stats.as_ref().unwrap();
+                assert_eq!(
+                    s.reached_fraction, 1.0,
+                    "cell {} did not quiesce: {:?}",
+                    cell.index, cell.spec
+                );
+            }
+        }
+        // The CSV has one row per cell, header first.
+        let csv = out.to_csv();
+        assert_eq!(csv.lines().count(), 11);
+        assert_eq!(csv.lines().next().unwrap(), CSV_HEADER);
+        // Every JSON object — including the unsupported cell — carries
+        // the full field set (homogeneous schema).
+        let json = out.to_json();
+        let objects = json.lines().filter(|l| l.trim_start().starts_with('{'));
+        let mut count = 0;
+        for line in objects {
+            count += 1;
+            for field in [
+                "reached_fraction",
+                "rounds",
+                "migrations_mean",
+                "psi0_final_mean",
+            ] {
+                assert!(line.contains(field), "JSON row misses `{field}`: {line}");
+            }
+        }
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn csv_is_byte_identical_across_thread_counts() {
+        let spec = small_spec(&[
+            "graph=ring:5,complete:5",
+            "tasks-per-node=8",
+            "protocol=alg1,bhs",
+            "weights=unit,uniform:0.3..1",
+            "until=quiescent:10",
+            "trials=3",
+            "max-rounds=5000",
+        ]);
+        let one = run_sweep(
+            &spec,
+            SweepConfig {
+                base_seed: 11,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let eight = run_sweep(
+            &spec,
+            SweepConfig {
+                base_seed: 11,
+                threads: 8,
+            },
+        )
+        .unwrap();
+        assert_eq!(one.to_csv(), eight.to_csv());
+        assert_eq!(one.to_json(), eight.to_json());
+        // A different seed genuinely changes the artifact.
+        let other = run_sweep(
+            &spec,
+            SweepConfig {
+                base_seed: 12,
+                threads: 8,
+            },
+        )
+        .unwrap();
+        assert_ne!(one.to_csv(), other.to_csv());
+    }
+
+    #[test]
+    fn psi0_stop_rule_reaches_the_bound() {
+        let spec = small_spec(&[
+            "graph=complete:6",
+            "tasks-per-node=16",
+            "until=psi0:50",
+            "trials=2",
+            "max-rounds=50000",
+        ]);
+        let out = run_sweep(&spec, SweepConfig::sequential(5)).unwrap();
+        let s = out.cells[0].stats.as_ref().unwrap();
+        assert_eq!(s.reached_fraction, 1.0);
+        assert!(s.psi0_final.max <= 50.0);
+    }
+
+    #[test]
+    fn validation_rejects_unbuildable_cells() {
+        let spec = small_spec(&["graph=ring:3", "placement=node:7"]);
+        let err = run_sweep(&spec, SweepConfig::sequential(1)).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        let spec = small_spec(&["graph=ring:2"]);
+        let err = run_sweep(&spec, SweepConfig::sequential(1)).unwrap_err();
+        assert!(err.to_string().contains("minimum size"), "{err}");
+        let spec = small_spec(&["graph=torus:2x5"]);
+        assert!(validate(&spec).is_err());
+    }
+
+    #[test]
+    fn weighted_cells_use_lightest_task_threshold_and_converge() {
+        let spec = small_spec(&[
+            "graph=ring:5",
+            "tasks-per-node=6",
+            "protocol=bhs",
+            "weights=bimodal:0.2:1:0.3",
+            "speeds=alternating:2",
+            "until=quiescent:30",
+            "trials=2",
+            "max-rounds=30000",
+        ]);
+        let out = run_sweep(&spec, SweepConfig::sequential(9)).unwrap();
+        let s = out.cells[0].stats.as_ref().unwrap();
+        assert_eq!(s.reached_fraction, 1.0);
+        assert!(s.psi0_final.mean.is_finite());
+    }
+}

@@ -193,6 +193,21 @@ impl<'a, P: Protocol> Simulation<'a, P> {
     /// Runs until `condition` holds (checked before every round, so a
     /// satisfied initial state costs zero rounds) or `max_rounds` elapse.
     pub fn run_until(&mut self, condition: StopCondition, max_rounds: u64) -> RunOutcome {
+        self.run_until_observed(condition, max_rounds, &mut ())
+    }
+
+    /// As [`Simulation::run_until`], but feeds every round (and the
+    /// initial state, with `report = None`) through a
+    /// [`recorder::RoundObserver`] — the hook for collecting per-round
+    /// metrics (a [`recorder::Trace`], a custom tally) from a
+    /// stop-condition-driven run without writing a second run loop.
+    pub fn run_until_observed<O: recorder::RoundObserver>(
+        &mut self,
+        condition: StopCondition,
+        max_rounds: u64,
+        observer: &mut O,
+    ) -> RunOutcome {
+        observer.observe(self.round, self.system, &self.state, None);
         let mut quiet_streak = 0u64;
         let mut migrations = 0u64;
         for executed in 0..max_rounds {
@@ -217,6 +232,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 }
             }
             let report = self.step();
+            observer.observe(self.round, self.system, &self.state, Some(report));
             migrations += report.migrations as u64;
             if report.migrations == 0 {
                 quiet_streak += 1;
@@ -355,6 +371,60 @@ mod tests {
         assert_eq!(sim.round(), 17);
         let final_state = sim.into_state();
         final_state.check_invariants(&s).unwrap();
+    }
+
+    #[test]
+    fn run_until_observed_feeds_every_round() {
+        struct Tally {
+            calls: u64,
+            migrations: u64,
+        }
+        impl recorder::RoundObserver for Tally {
+            fn observe(
+                &mut self,
+                _round: u64,
+                _system: &System,
+                _state: &TaskState,
+                report: Option<RoundReport>,
+            ) {
+                self.calls += 1;
+                self.migrations += report.map_or(0, |r| r.migrations as u64);
+            }
+        }
+        let s = sys();
+        let st = TaskState::all_on_node(&s, NodeId(0));
+        let mut sim = Simulation::new(&s, SelfishUniform::new(), st, 21);
+        let mut tally = Tally {
+            calls: 0,
+            migrations: 0,
+        };
+        let out = sim.run_until_observed(
+            StopCondition::Nash(Threshold::UnitWeight),
+            50_000,
+            &mut tally,
+        );
+        assert_eq!(out.reason, StopReason::ConditionMet);
+        // Initial observation plus one per executed round.
+        assert_eq!(tally.calls, out.rounds + 1);
+        assert_eq!(tally.migrations, out.migrations);
+        // A Trace is itself an observer: sampled rows appear without a
+        // second run loop.
+        let mut sim2 = Simulation::new(
+            &s,
+            SelfishUniform::new(),
+            TaskState::all_on_node(&s, NodeId(0)),
+            21,
+        );
+        let mut trace = recorder::Trace::new(10);
+        let out2 = sim2.run_until_observed(
+            StopCondition::Nash(Threshold::UnitWeight),
+            50_000,
+            &mut trace,
+        );
+        assert_eq!(out2.rounds, out.rounds, "same seed, same trajectory");
+        assert!(!trace.rows().is_empty());
+        assert_eq!(trace.rows()[0].round, 0);
+        assert!(trace.rows().last().unwrap().psi0 <= trace.rows()[0].psi0);
     }
 
     #[test]

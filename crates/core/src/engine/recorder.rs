@@ -10,6 +10,42 @@ use crate::potential;
 use crate::protocol::RoundReport;
 use std::fmt::Write as _;
 
+/// A per-round metrics hook for observed simulation runs
+/// ([`Simulation::run_until_observed`](crate::engine::Simulation::run_until_observed)).
+///
+/// Observers see every committed round (and the initial state as round 0
+/// with `report = None`); what they extract — potentials, migration
+/// activity, custom counters — is up to them. [`Trace`] implements the
+/// trait by sampling on its cadence, so trajectory recording and
+/// stop-condition-driven runs compose without a second run loop.
+pub trait RoundObserver {
+    /// Called after each committed round (and once for the initial state).
+    fn observe(
+        &mut self,
+        round: u64,
+        system: &System,
+        state: &TaskState,
+        report: Option<RoundReport>,
+    );
+}
+
+/// The no-op observer: `run_until_observed` with `()` is `run_until`.
+impl RoundObserver for () {
+    fn observe(&mut self, _: u64, _: &System, _: &TaskState, _: Option<RoundReport>) {}
+}
+
+impl RoundObserver for Trace {
+    fn observe(
+        &mut self,
+        round: u64,
+        system: &System,
+        state: &TaskState,
+        report: Option<RoundReport>,
+    ) {
+        self.record(round, system, state, report);
+    }
+}
+
 /// One sampled row of a trajectory.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceRow {

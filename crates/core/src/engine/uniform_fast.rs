@@ -148,6 +148,8 @@ pub struct FastRunOutcome {
     pub rounds: u64,
     /// Whether the target was reached within the budget.
     pub reached: bool,
+    /// Total migrations performed during the run.
+    pub migrations: u64,
 }
 
 /// Count-based simulator of **Algorithm 1** (uniform tasks).
@@ -283,35 +285,41 @@ impl<'a> UniformFastSim<'a> {
 
     /// Runs until `Ψ₀ ≤ bound` or the budget runs out.
     pub fn run_until_psi0(&mut self, bound: f64, max_rounds: u64) -> FastRunOutcome {
+        let mut migrations = 0u64;
         for executed in 0..max_rounds {
             if self.psi0() <= bound {
                 return FastRunOutcome {
                     rounds: executed,
                     reached: true,
+                    migrations,
                 };
             }
-            self.step();
+            migrations += self.step();
         }
         FastRunOutcome {
             rounds: max_rounds,
             reached: self.psi0() <= bound,
+            migrations,
         }
     }
 
     /// Runs until an exact Nash equilibrium or the budget runs out.
     pub fn run_until_nash(&mut self, max_rounds: u64) -> FastRunOutcome {
+        let mut migrations = 0u64;
         for executed in 0..max_rounds {
             if self.is_nash() {
                 return FastRunOutcome {
                     rounds: executed,
                     reached: true,
+                    migrations,
                 };
             }
-            self.step();
+            migrations += self.step();
         }
         FastRunOutcome {
             rounds: max_rounds,
             reached: self.is_nash(),
+            migrations,
         }
     }
 }
@@ -415,6 +423,10 @@ mod tests {
         );
         let out = sim.run_until_nash(100_000);
         assert!(out.reached, "no NE within budget");
+        assert!(
+            out.migrations > 0,
+            "reaching NE from the hot start moves tasks"
+        );
         // Nash bounds *adjacent* load gaps by 1/s_j = 1; across the ring
         // the spread can accumulate up to diam(C_6) = 3.
         assert!(sim.is_nash());

@@ -58,6 +58,26 @@ mod tests {
     }
 
     #[test]
+    fn derived_seeds_do_not_collide_across_cell_trial_pairs() {
+        // The sweep runner keys trial seeds by (cell index, trial index);
+        // any collision would silently correlate two grid cells. Check a
+        // grid far larger than any practical sweep: 128 × 128 pairs per
+        // base seed, across several base seeds.
+        use std::collections::HashSet;
+        for base in [0u64, 42, 0xdead_beef] {
+            let mut seen = HashSet::with_capacity(128 * 128);
+            for cell in 0..128u64 {
+                for trial in 0..128u64 {
+                    assert!(
+                        seen.insert(derive_seed(base, cell, trial)),
+                        "collision at base {base}, cell {cell}, trial {trial}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn rng_streams_reproduce() {
         let mut a = rng_for(7, 1, 0);
         let mut b = rng_for(7, 1, 0);

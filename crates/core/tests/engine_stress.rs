@@ -142,6 +142,59 @@ fn parallel_engine_survives_tiny_and_huge_chunking() {
 }
 
 #[test]
+fn parallel_trajectories_invariant_across_thread_counts_weighted() {
+    // The determinism contract behind `slb sweep`: a chunk-seeded parallel
+    // run is a pure function of (seed, chunk size) — the thread count must
+    // not change a single state, even for weighted tasks on heterogeneous
+    // speeds where commit order alters floating-point aggregates.
+    let mut wrng = StdRng::seed_from_u64(7);
+    let n = 16;
+    let m = 4_000;
+    let weights: Vec<f64> = (0..m).map(|_| wrng.gen_range(0.01..=1.0)).collect();
+    let system = System::new(
+        generators::torus(4, 4),
+        SpeedVector::integer((0..n as u64).map(|i| 1 + i % 3).collect()).unwrap(),
+        TaskSet::weighted(weights).unwrap(),
+    )
+    .unwrap();
+    let run = |threads: usize| {
+        let mut sim = ParallelSimulation::with_layout(
+            &system,
+            SelfishWeighted::new(),
+            TaskState::all_on_node(&system, NodeId(0)),
+            31,
+            256,
+            threads,
+        );
+        let migrations = sim.run(20);
+        (migrations, sim.into_state())
+    };
+    let (m1, s1) = run(1);
+    let (m4, s4) = run(4);
+    let (m13, s13) = run(13);
+    assert_eq!(m1, m4);
+    assert_eq!(m4, m13);
+    assert_eq!(s1, s4);
+    assert_eq!(s4, s13);
+    s1.check_invariants(&system).unwrap();
+
+    // Same contract for the BHS baseline.
+    let run_bhs = |threads: usize| {
+        let mut sim = ParallelSimulation::with_layout(
+            &system,
+            BhsBaseline::new(),
+            TaskState::all_on_node(&system, NodeId(5)),
+            77,
+            512,
+            threads,
+        );
+        sim.run(15);
+        sim.into_state()
+    };
+    assert_eq!(run_bhs(1), run_bhs(8));
+}
+
+#[test]
 fn fast_sim_extreme_imbalance_and_large_counts() {
     // A million tasks on one node of a small ring: the binomial sampler
     // must stay stable through the normal-approximation regime.

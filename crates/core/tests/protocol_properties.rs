@@ -191,6 +191,104 @@ proptest! {
     }
 }
 
+/// Distributional equivalence of the two Algorithm 1 engines: on a small
+/// uniform instance, the first-round migration *count distribution* of
+/// the count-based fast path must match the per-task engine's — not just
+/// in mean, but bin by bin under a two-sample χ²-style statistic
+/// (fixed seeds; the test is fully deterministic).
+#[test]
+fn fast_and_task_level_migration_distributions_agree() {
+    use slb_core::protocol::SelfishUniform;
+    let graph = generators::ring(4);
+    let n = graph.node_count();
+    let m = 40u64;
+    let system = System::new(graph, SpeedVector::uniform(n), TaskSet::uniform(m as usize)).unwrap();
+    let trials = 600u64;
+
+    // Sample the round-1 outflow from the hot node under both engines.
+    let fast: Vec<u64> = (0..trials)
+        .map(|seed| {
+            let mut sim = UniformFastSim::new(
+                &system,
+                Alpha::Approximate,
+                CountState::all_on_node(n, 0, m),
+                seed,
+            );
+            sim.step()
+        })
+        .collect();
+    let task: Vec<u64> = (0..trials)
+        .map(|seed| {
+            let mut st = TaskState::all_on_node(&system, NodeId(0));
+            let mut rng = StdRng::seed_from_u64(0xfeed_0000 + seed);
+            SelfishUniform::new()
+                .round(&system, &mut st, &mut rng)
+                .migrations as u64
+        })
+        .collect();
+
+    // Both sample Binomial-ish counts around the same expectation; bin the
+    // counts (width 2, shared range) and compare the two histograms with
+    // the two-sample homogeneity statistic Σ (a_i − b_i)²/(a_i + b_i)
+    // (equal sample sizes). Bins with fewer than 5 combined observations
+    // merge into their neighbor to keep the statistic well-behaved.
+    let max_seen = fast.iter().chain(&task).copied().max().unwrap();
+    let width = 2u64;
+    let bins = (max_seen / width + 1) as usize;
+    let mut a = vec![0f64; bins];
+    let mut b = vec![0f64; bins];
+    for &x in &fast {
+        a[(x / width) as usize] += 1.0;
+    }
+    for &x in &task {
+        b[(x / width) as usize] += 1.0;
+    }
+    let mut chi2 = 0.0;
+    let mut dof = 0usize;
+    let (mut acc_a, mut acc_b) = (0.0, 0.0);
+    for i in 0..bins {
+        acc_a += a[i];
+        acc_b += b[i];
+        if acc_a + acc_b >= 5.0 {
+            chi2 += (acc_a - acc_b) * (acc_a - acc_b) / (acc_a + acc_b);
+            dof += 1;
+            acc_a = 0.0;
+            acc_b = 0.0;
+        }
+    }
+    if acc_a + acc_b > 0.0 {
+        chi2 += (acc_a - acc_b) * (acc_a - acc_b) / (acc_a + acc_b);
+        dof += 1;
+    }
+    assert!(dof >= 3, "degenerate binning: {dof} bins");
+    // For χ²(dof) the mean is dof and the std dev √(2·dof); 3·dof is a
+    // generous ≫ 5σ ceiling, so a real distributional mismatch (e.g. a
+    // shifted mean or halved variance) fails while seed noise passes.
+    let ceiling = 3.0 * dof as f64;
+    assert!(
+        chi2 < ceiling,
+        "χ² = {chi2:.1} over {dof} bins exceeds {ceiling:.1}: engines disagree in distribution"
+    );
+    // Sanity: the same statistic between disjoint halves of the *same*
+    // engine's sample stays under the ceiling too (the test is calibrated,
+    // not trivially loose).
+    let mut c = vec![0f64; bins];
+    let mut d = vec![0f64; bins];
+    for &x in &fast[..(trials / 2) as usize] {
+        c[(x / width) as usize] += 1.0;
+    }
+    for &x in &fast[(trials / 2) as usize..] {
+        d[(x / width) as usize] += 1.0;
+    }
+    let mut self_chi2 = 0.0;
+    for i in 0..bins {
+        if c[i] + d[i] >= 5.0 {
+            self_chi2 += (c[i] - d[i]) * (c[i] - d[i]) / (c[i] + d[i]);
+        }
+    }
+    assert!(self_chi2 < ceiling, "self-comparison χ² = {self_chi2:.1}");
+}
+
 /// Deterministic distributional check (not proptest — fixed statistics):
 /// the per-destination expected counts of the fast path match the
 /// expected flows on an asymmetric instance with speeds.

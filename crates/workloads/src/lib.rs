@@ -12,7 +12,10 @@
 //! * [`speeds`] — machine-speed distributions, including the
 //!   integer-granularity families required by Theorem 1.2,
 //! * [`scenario`] — named presets bundling a topology, speeds, weights and
-//!   placement into a ready-to-run [`System`](slb_core::model::System).
+//!   placement into a ready-to-run [`System`](slb_core::model::System),
+//! * [`sweep`] — declarative experiment grids ([`SweepSpec`]) with the
+//!   `key=a,b,c` grid syntax consumed by `slb sweep` and the analysis
+//!   layer's sweep runner.
 //!
 //! # Example
 //!
@@ -33,6 +36,8 @@
 pub mod placement;
 pub mod scenario;
 pub mod speeds;
+pub mod sweep;
 pub mod weights;
 
 pub use scenario::{BuiltScenario, ScenarioError};
+pub use sweep::{CellSpec, ProtocolKind, StopRule, SweepParseError, SweepSpec};

@@ -36,6 +36,14 @@ pub enum SpeedDistribution {
         /// Granularity to round to (in `(0, 1]`).
         granularity: f64,
     },
+    /// Deterministic alternating classes: node `i` gets integer speed
+    /// `1 + (i mod classes)` (granularity 1). `classes = 1` degenerates to
+    /// uniform machines; draws no randomness, which keeps sweep cells that
+    /// use it reproducible under any RNG-consumption order.
+    Alternating {
+        /// Number of speed classes (≥ 1); `s_max = classes`.
+        classes: u64,
+    },
 }
 
 impl SpeedDistribution {
@@ -92,6 +100,11 @@ impl SpeedDistribution {
                 SpeedVector::with_granularity(speeds, granularity)
                     .expect("grid-rounded speeds respect the granularity")
             }
+            SpeedDistribution::Alternating { classes } => {
+                assert!(classes >= 1, "alternating needs at least one class");
+                SpeedVector::integer((0..n as u64).map(|i| 1 + i % classes).collect())
+                    .expect("integer speeds are valid")
+            }
         }
     }
 
@@ -102,6 +115,7 @@ impl SpeedDistribution {
             SpeedDistribution::IntegerUniform { .. } => "integer-uniform",
             SpeedDistribution::TwoClass { .. } => "two-class",
             SpeedDistribution::Ramp { .. } => "ramp",
+            SpeedDistribution::Alternating { .. } => "alternating",
         }
     }
 }
@@ -176,9 +190,22 @@ mod tests {
     }
 
     #[test]
+    fn alternating_is_deterministic_and_cyclic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = SpeedDistribution::Alternating { classes: 3 }.sample(7, &mut rng);
+        let got: Vec<f64> = (0..7).map(|i| s.speed(i)).collect();
+        assert_eq!(got, vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0]);
+        assert_eq!(s.granularity(), Some(1.0));
+        // One class degenerates to uniform machines.
+        let u = SpeedDistribution::Alternating { classes: 1 }.sample(4, &mut rng);
+        assert!(u.is_uniform());
+    }
+
+    #[test]
     fn labels_are_distinct() {
         let labels = [
             SpeedDistribution::Uniform.label(),
+            SpeedDistribution::Alternating { classes: 2 }.label(),
             SpeedDistribution::IntegerUniform { max: 2 }.label(),
             SpeedDistribution::TwoClass {
                 fast: 2,

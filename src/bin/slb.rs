@@ -24,8 +24,9 @@ USAGE:
   slb simulate [OPTIONS]   run one protocol to a stop condition
   slb spectral [OPTIONS]   print λ₂ and the spectral bounds of a topology
   slb bounds   [OPTIONS]   print the paper's convergence bounds for an instance
+  slb sweep [GRID] [OPTIONS]   run an experiment grid, emit CSV/JSON
 
-TOPOLOGY OPTIONS (all subcommands):
+TOPOLOGY OPTIONS (simulate/spectral/bounds):
   --family <complete|ring|path|mesh|torus|hypercube|star>   (default ring)
   --n <N>            nodes, for complete/ring/path/star     (default 16)
   --rows/--cols <N>  dimensions, for mesh/torus             (default 4x4)
@@ -39,20 +40,66 @@ SIMULATE OPTIONS:
   --until <nash|quiescent|psi0:X>   stop condition          (default nash)
   --max-rounds <N>                                          (default 1000000)
   --seed <N>                                                (default 42)
+
+SWEEP GRID (positional key=a,b,c tokens; omitted keys use the default):
+  graph=ring:8,torus:3x3,…      ring|path|complete|star:N, hypercube:D,
+                                mesh|torus:RxC              (default ring:8)
+  tasks-per-node=8,32,…                                     (default 16)
+  speeds=uniform,alternating:K,integer:MAX,two-class:FAST:FRAC,ramp:MAX:GRAN
+  weights=unit,uniform:LO..HI,power-law:ALPHA:MIN,bimodal:LIGHT:HEAVY:FRAC
+  placement=hot,node:V,slowest,random,proportional,round-robin
+  protocol=alg1,alg2,bhs,diffusion,best-response            (default alg1)
+  until=nash,quiescent:K,psi0:X                             (default nash)
+
+SWEEP OPTIONS:
+  --trials <N>       trials per cell                        (default 3)
+  --max-rounds <N>   round budget per trial                 (default 200000)
+  --seed <N>         base seed; cell c, trial t runs on
+                     derive_seed(seed, c, t)                (default 42)
+  --threads <N>      trial fan-out (output is identical
+                     for every thread count)                (default: cores)
+  --format <csv|json>                                       (default csv)
+  --out <PATH>       write the artifact to a file instead of stdout
 ";
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// Splits raw arguments into `--flag [value]` pairs and positional
+/// tokens. A flag followed by another flag (or by nothing) is boolean and
+/// gets the value `"true"`; duplicated flags are rejected.
+fn parse_args(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
     let mut flags = HashMap::new();
+    let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        let key = args[i]
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| format!("flag --{key} needs a value"))?;
-        flags.insert(key.to_string(), value.clone());
-        i += 2;
+        let Some(key) = args[i].strip_prefix("--") else {
+            positional.push(args[i].clone());
+            i += 1;
+            continue;
+        };
+        if key.is_empty() {
+            return Err("empty flag `--`".into());
+        }
+        let value = match args.get(i + 1) {
+            Some(next) if !next.starts_with("--") => {
+                i += 2;
+                next.clone()
+            }
+            _ => {
+                i += 1;
+                "true".to_string()
+            }
+        };
+        if flags.insert(key.to_string(), value).is_some() {
+            return Err(format!("flag --{key} given twice"));
+        }
+    }
+    Ok((flags, positional))
+}
+
+/// As [`parse_args`], for subcommands that take no positional arguments.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let (flags, positional) = parse_args(args)?;
+    if let Some(stray) = positional.first() {
+        return Err(format!("expected --flag, got `{stray}`"));
     }
     Ok(flags)
 }
@@ -260,16 +307,130 @@ fn cmd_bounds(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_sweep(flags: HashMap<String, String>, grid: &[String]) -> Result<(), String> {
+    use selfish_load_balancing::analysis::sweep::{run_sweep, SweepConfig};
+    use selfish_load_balancing::workloads::SweepSpec;
+
+    // `trials` and `max-rounds` exist both as grid keys and as flags;
+    // giving both would silently shadow one, so treat it like any other
+    // duplicate.
+    for key in ["trials", "max-rounds"] {
+        let prefix = format!("{key}=");
+        if flags.contains_key(key) && grid.iter().any(|t| t.starts_with(&prefix)) {
+            return Err(format!(
+                "`{key}` given both as a grid token and as --{key}; pick one"
+            ));
+        }
+    }
+    let mut spec = SweepSpec::parse(grid).map_err(|e| e.to_string())?;
+    spec.trials = get(&flags, "trials", spec.trials)?;
+    spec.max_rounds = get(&flags, "max-rounds", spec.max_rounds)?;
+    if spec.trials == 0 {
+        return Err("--trials must be positive".into());
+    }
+    if spec.max_rounds == 0 {
+        return Err("--max-rounds must be positive".into());
+    }
+    let base_seed: u64 = get(&flags, "seed", 42)?;
+    let default_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let threads: usize = get(&flags, "threads", default_threads)?;
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    let outcome =
+        run_sweep(&spec, SweepConfig { base_seed, threads }).map_err(|e| e.to_string())?;
+    let rendered = match flags.get("format").map(String::as_str).unwrap_or("csv") {
+        "csv" => outcome.to_csv(),
+        "json" => outcome.to_json(),
+        other => return Err(format!("unknown format `{other}` (use csv|json)")),
+    };
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("cannot write `{path}`: {e}"))?
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// Whether the parsed flags request usage output (`--help` as a boolean
+/// flag on any subcommand).
+fn wants_help(flags: &HashMap<String, String>) -> bool {
+    flags.contains_key("help")
+}
+
+const TOPOLOGY_FLAGS: &[&str] = &["help", "family", "n", "rows", "cols", "d"];
+const SIMULATE_FLAGS: &[&str] = &[
+    "help",
+    "family",
+    "n",
+    "rows",
+    "cols",
+    "d",
+    "protocol",
+    "tasks-per-node",
+    "speeds",
+    "weights",
+    "until",
+    "max-rounds",
+    "seed",
+];
+const BOUNDS_FLAGS: &[&str] = &["help", "family", "n", "rows", "cols", "d", "tasks-per-node"];
+const SWEEP_FLAGS: &[&str] = &[
+    "help",
+    "trials",
+    "max-rounds",
+    "seed",
+    "threads",
+    "format",
+    "out",
+];
+
+/// Rejects misspelled flags instead of silently ignoring them (a dropped
+/// `--seed` would otherwise produce a wrong-but-plausible artifact).
+fn reject_unknown(flags: &HashMap<String, String>, known: &[&str]) -> Result<(), String> {
+    let mut unknown: Vec<&str> = flags
+        .keys()
+        .map(String::as_str)
+        .filter(|k| !known.contains(k))
+        .collect();
+    unknown.sort_unstable();
+    match unknown.first() {
+        Some(flag) => Err(format!("unknown flag --{flag}")),
+        None => Ok(()),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    let with_flags = |run: fn(HashMap<String, String>) -> Result<(), String>,
+                      rest: &[String],
+                      known: &[&str]|
+     -> Result<(), String> {
+        let flags = parse_flags(rest)?;
+        if wants_help(&flags) {
+            print!("{USAGE}");
+            return Ok(());
+        }
+        reject_unknown(&flags, known)?;
+        run(flags)
+    };
     let result = match command.as_str() {
-        "simulate" => parse_flags(rest).and_then(cmd_simulate),
-        "spectral" => parse_flags(rest).and_then(cmd_spectral),
-        "bounds" => parse_flags(rest).and_then(cmd_bounds),
+        "simulate" => with_flags(cmd_simulate, rest, SIMULATE_FLAGS),
+        "spectral" => with_flags(cmd_spectral, rest, TOPOLOGY_FLAGS),
+        "bounds" => with_flags(cmd_bounds, rest, BOUNDS_FLAGS),
+        "sweep" => parse_args(rest).and_then(|(flags, grid)| {
+            if wants_help(&flags) {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            reject_unknown(&flags, SWEEP_FLAGS)?;
+            cmd_sweep(flags, &grid)
+        }),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -309,7 +470,70 @@ mod tests {
         assert_eq!(parsed.get("family").unwrap(), "torus");
         assert_eq!(parsed.get("rows").unwrap(), "5");
         assert!(parse_flags(&["oops".into()]).is_err());
-        assert!(parse_flags(&["--key".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_flags_boolean_and_duplicates() {
+        // A flag with no value (trailing, or followed by another flag) is
+        // boolean.
+        let parsed = parse_flags(&["--help".into()]).unwrap();
+        assert_eq!(parsed.get("help").unwrap(), "true");
+        let parsed = parse_flags(&["--verbose".into(), "--n".into(), "4".into()]).unwrap();
+        assert_eq!(parsed.get("verbose").unwrap(), "true");
+        assert_eq!(parsed.get("n").unwrap(), "4");
+        // Duplicates are rejected with a clear message.
+        let err = parse_flags(&["--n".into(), "1".into(), "--n".into(), "2".into()]).unwrap_err();
+        assert!(err.contains("given twice"), "{err}");
+        // A bare `--` is rejected.
+        assert!(parse_flags(&["--".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_args_separates_grid_tokens_from_flags() {
+        let (flags, positional) = parse_args(&[
+            "graph=ring:8".into(),
+            "--seed".into(),
+            "7".into(),
+            "protocol=alg1,bhs".into(),
+            "--threads".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        assert_eq!(positional, vec!["graph=ring:8", "protocol=alg1,bhs"]);
+        assert_eq!(flags.get("seed").unwrap(), "7");
+        assert_eq!(flags.get("threads").unwrap(), "2");
+    }
+
+    #[test]
+    fn sweep_runs_and_is_thread_invariant() {
+        use selfish_load_balancing::analysis::sweep::{run_sweep, SweepConfig};
+        use selfish_load_balancing::workloads::SweepSpec;
+        let spec = SweepSpec::parse(&[
+            "graph=ring:5",
+            "tasks-per-node=6",
+            "protocol=alg1,diffusion",
+            "until=quiescent:10",
+            "trials=2",
+            "max-rounds=5000",
+        ])
+        .unwrap();
+        let a = run_sweep(
+            &spec,
+            SweepConfig {
+                base_seed: 1,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let b = run_sweep(
+            &spec,
+            SweepConfig {
+                base_seed: 1,
+                threads: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(a.to_csv(), b.to_csv());
     }
 
     #[test]

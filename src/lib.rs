@@ -54,7 +54,10 @@ pub use slb_workloads as workloads;
 
 /// The most commonly used items, importable with one `use`.
 pub mod prelude {
-    pub use slb_analysis::runner::{measure_uniform_convergence, Target, TrialConfig};
+    pub use slb_analysis::runner::{
+        measure_uniform_convergence, run_cell_trials, run_trials, Target, TrialConfig,
+    };
+    pub use slb_analysis::sweep::{run_sweep, CellResult, SweepConfig, SweepOutcome};
     pub use slb_analysis::theory;
     pub use slb_core::engine::{
         parallel::ParallelSimulation, recorder::Trace, uniform_fast::UniformFastSim, RunOutcome,
@@ -71,4 +74,5 @@ pub mod prelude {
     pub use slb_spectral::{closed_form, laplacian};
     pub use slb_workloads::placement::Placement;
     pub use slb_workloads::scenario;
+    pub use slb_workloads::sweep::{CellSpec, ProtocolKind, StopRule, SweepSpec};
 }

@@ -36,6 +36,15 @@ fn help_succeeds_and_prints_usage() {
 }
 
 #[test]
+fn per_subcommand_help_is_boolean_and_succeeds() {
+    for cmd in ["simulate", "spectral", "bounds", "sweep"] {
+        let out = slb(&[cmd, "--help"]);
+        assert!(out.status.success(), "`slb {cmd} --help` must exit zero");
+        assert!(stdout(&out).contains("USAGE:"), "stdout: {}", stdout(&out));
+    }
+}
+
+#[test]
 fn unknown_command_fails_with_message() {
     let out = slb(&["frobnicate"]);
     assert!(!out.status.success());
@@ -51,15 +60,26 @@ fn bad_flag_values_fail_nonzero() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("expected --flag"));
 
-    // Flag missing its value.
+    // Flag missing its value: parsed as a boolean flag, so the numeric
+    // parse fails downstream with a clear message (not a panic).
     let out = slb(&["simulate", "--n"]);
     assert!(!out.status.success());
-    assert!(stderr(&out).contains("needs a value"));
+    assert!(stderr(&out).contains("invalid value `true` for --n"));
+
+    // Duplicated flag.
+    let out = slb(&["simulate", "--n", "4", "--n", "8"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("given twice"));
 
     // Unparsable numeric value.
     let out = slb(&["simulate", "--n", "many"]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("invalid value"));
+
+    // Misspelled flag on a classic subcommand.
+    let out = slb(&["simulate", "--sede", "7"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown flag --sede"));
 
     // Unknown topology family.
     let out = slb(&["spectral", "--family", "blob"]);
@@ -139,6 +159,156 @@ fn bounds_smoke_run_prints_theorem_bounds() {
     let text = stdout(&out);
     assert!(text.contains("Thm 1.1"), "stdout: {text}");
     assert!(text.contains("ψ_c"), "stdout: {text}");
+}
+
+/// The pinned small-sweep invocation behind `tests/golden/sweep_small.csv`
+/// (also run by CI's smoke-sweep step). One grid covering all five
+/// protocols and both uniform/weighted task modes.
+const GOLDEN_SWEEP_ARGS: &[&str] = &[
+    "sweep",
+    "graph=ring:6",
+    "tasks-per-node=8",
+    "weights=unit,uniform:0.2..0.9",
+    "protocol=alg1,alg2,bhs,diffusion,best-response",
+    "until=quiescent:20",
+    "--trials",
+    "2",
+    "--max-rounds",
+    "5000",
+    "--seed",
+    "42",
+];
+
+const SWEEP_CSV_HEADER: &str = "cell,graph,n,m,protocol,engine,speeds,weights,placement,until,\
+                                trials,base_seed,max_rounds,reached_fraction,rounds_mean,\
+                                rounds_std,rounds_min,rounds_median,rounds_max,migrations_mean,\
+                                psi0_final_mean";
+
+#[test]
+fn sweep_emits_exact_csv_schema() {
+    let out = slb(&["sweep", "graph=ring:4", "trials=1", "--max-rounds", "2000"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert_eq!(text.lines().next().unwrap(), SWEEP_CSV_HEADER);
+    assert_eq!(text.lines().count(), 2, "one cell → header + one row");
+}
+
+#[test]
+fn sweep_matches_golden_file_at_any_thread_count() {
+    let golden = include_str!("golden/sweep_small.csv");
+    for threads in ["1", "8"] {
+        let mut args = GOLDEN_SWEEP_ARGS.to_vec();
+        args.extend(["--threads", threads]);
+        let out = slb(&args);
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        assert_eq!(
+            stdout(&out),
+            golden,
+            "sweep CSV at --threads {threads} diverges from tests/golden/sweep_small.csv \
+             (same spec + seed must be byte-identical)"
+        );
+    }
+}
+
+#[test]
+fn golden_sweep_covers_all_protocols_and_task_modes() {
+    let golden = include_str!("golden/sweep_small.csv");
+    for protocol in ["alg1", "alg2", "bhs", "diffusion", "best-response"] {
+        assert!(
+            golden.lines().any(|l| l.contains(&format!(",{protocol},"))),
+            "golden sweep misses protocol {protocol}"
+        );
+    }
+    assert!(golden.contains(",unit,"));
+    assert!(golden.contains(",uniform:0.2..0.9,"));
+    // Algorithm 1 on weighted tasks is the one marked-unsupported cell.
+    assert_eq!(golden.matches(",unsupported,").count(), 1);
+}
+
+#[test]
+fn sweep_rejects_malformed_grids_with_exit_one() {
+    for (args, needle) in [
+        (&["sweep", "graph=blob:4"][..], "unknown graph family"),
+        (&["sweep", "graph=ring"], "needs parameters"),
+        (&["sweep", "graph=torus:4"], "RxC"),
+        (&["sweep", "bogus=1"], "unknown grid key"),
+        (&["sweep", "trials=0"], "must be positive"),
+        (&["sweep", "protocol=teleport"], "unknown protocol"),
+        (&["sweep", "until=eventually"], "unknown stop rule"),
+        (&["sweep", "trials=1", "trials=2"], "given twice"),
+        (&["sweep", "placement=node:99"], "out of range"),
+        (&["sweep", "--format", "xml"], "unknown format"),
+        (&["sweep", "--threads", "0"], "must be positive"),
+        // Syntactically valid grids with invalid distribution/graph
+        // parameters must also exit 1, not panic in a worker thread.
+        (&["sweep", "graph=hypercube:0"], "hypercube dimension"),
+        (&["sweep", "graph=hypercube:64"], "hypercube dimension"),
+        (&["sweep", "speeds=two-class:0:0.5"], "fast speed"),
+        (&["sweep", "speeds=integer:0"], "at least 1"),
+        (&["sweep", "weights=power-law:0:0.1"], "alpha"),
+        // Misspelled flags are rejected, not silently ignored.
+        (
+            &["sweep", "graph=ring:4", "--seeed", "7"],
+            "unknown flag --seeed",
+        ),
+        // trials/max-rounds as both grid token and flag is ambiguous.
+        (
+            &["sweep", "trials=5", "--trials", "2", "graph=ring:4"],
+            "given both as a grid token",
+        ),
+        (
+            &["sweep", "max-rounds=10", "--max-rounds", "20"],
+            "given both as a grid token",
+        ),
+    ] {
+        let out = slb(args);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "`slb {args:?}` must exit 1, not panic"
+        );
+        assert!(
+            stderr(&out).contains(needle),
+            "`slb {args:?}` stderr misses `{needle}`: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn sweep_json_format_and_out_file() {
+    let out = slb(&[
+        "sweep",
+        "graph=ring:4",
+        "trials=1",
+        "--max-rounds",
+        "2000",
+        "--format",
+        "json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.starts_with("[\n"), "json: {text}");
+    assert!(text.contains("\"graph\":\"ring:4\""));
+    assert!(text.trim_end().ends_with(']'));
+
+    // --out writes the same artifact to a file and stays silent.
+    let path = std::env::temp_dir().join("slb_sweep_out_test.csv");
+    let path_str = path.to_str().unwrap();
+    let out = slb(&[
+        "sweep",
+        "graph=ring:4",
+        "trials=1",
+        "--max-rounds",
+        "2000",
+        "--out",
+        path_str,
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).is_empty());
+    let written = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(written.lines().next().unwrap(), SWEEP_CSV_HEADER);
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
