@@ -8,8 +8,10 @@
 //!    [`derive_seed`]`(base_seed, cell_index, trial)`,
 //! 2. dispatches to the right simulation engine automatically —
 //!    [`UniformFastSim`] for Algorithm 1 on uniform tasks (the `O(|E|)`
-//!    multinomial path), the deterministic chunk-seeded schedule of
-//!    [`ParallelSimulation`]
+//!    multinomial path), [`WeightedFastSim`] for Algorithm 1's weighted
+//!    generalization (per-(node, weight class) multinomials; continuous
+//!    weight distributions are quantized via [`WeightClasses`]), the
+//!    deterministic chunk-seeded schedule of [`ParallelSimulation`]
 //!    for the per-task protocols (Algorithm 2, the \[6\] baseline), and the
 //!    sequential [`Simulation`] for the deterministic protocols (diffusion,
 //!    best response),
@@ -22,10 +24,11 @@
 //! the sweep artifact is **byte-identical for the same seed regardless of
 //! the thread count** — the property the golden-file tests pin down.
 //!
-//! Cells whose protocol cannot run their task mode (Algorithm 1 is
-//! defined for uniform tasks only) still appear in the artifact, marked
-//! `unsupported` with zeroed metrics, so the row set of a grid is always
-//! its full cartesian product.
+//! Every protocol × task-mode combination in the grid syntax now executes
+//! on a real engine; the `unsupported` engine label survives only for
+//! artifact-schema stability (should a future combination be skipped, its
+//! row renders zeroed and [`SweepOutcome::unsupported_cells`] lets callers
+//! warn instead of passing zeroes off as measurements).
 
 use crate::runner::run_cell_trials;
 use crate::stats::Summary;
@@ -33,6 +36,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use slb_core::engine::parallel::{ParallelSimulation, DEFAULT_CHUNK_SIZE};
 use slb_core::engine::uniform_fast::{CountState, UniformFastSim};
+use slb_core::engine::weighted_fast::{ClassCountState, WeightedFastSim};
 use slb_core::engine::{Simulation, StopCondition, StopReason};
 use slb_core::equilibrium::{self, Threshold};
 use slb_core::model::System;
@@ -47,6 +51,7 @@ use slb_workloads::sweep::{
     family_grid_label, placement_grid_label, speeds_grid_label, weights_grid_label, CellSpec,
     ProtocolKind, StopRule, SweepSpec,
 };
+use slb_workloads::weight_classes::WeightClasses;
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -55,11 +60,16 @@ use std::fmt::Write as _;
 pub enum EngineKind {
     /// Count-based multinomial path (Algorithm 1, uniform tasks).
     UniformFast,
+    /// Count-based weight-class multinomial path (Algorithm 1's weighted
+    /// rule; continuous weight distributions are quantized).
+    WeightedFast,
     /// Deterministic chunk-seeded per-task schedule (Algorithm 2, BHS).
     ParallelChunked,
     /// Sequential engine (diffusion, best response).
     Sequential,
-    /// The protocol cannot run this task mode; no trials executed.
+    /// The protocol cannot run this task mode; no trials executed. No
+    /// current combination maps here — retained for artifact-schema
+    /// stability (zeroed rows) should a future one need to be skipped.
     Unsupported,
 }
 
@@ -68,6 +78,7 @@ impl EngineKind {
     pub fn label(self) -> &'static str {
         match self {
             EngineKind::UniformFast => "uniform-fast",
+            EngineKind::WeightedFast => "weighted-fast",
             EngineKind::ParallelChunked => "parallel-chunked",
             EngineKind::Sequential => "sequential",
             EngineKind::Unsupported => "unsupported",
@@ -78,7 +89,7 @@ impl EngineKind {
     pub fn for_cell(cell: &CellSpec) -> EngineKind {
         match cell.protocol {
             ProtocolKind::Alg1 if cell.is_uniform_tasks() => EngineKind::UniformFast,
-            ProtocolKind::Alg1 => EngineKind::Unsupported,
+            ProtocolKind::Alg1 => EngineKind::WeightedFast,
             ProtocolKind::Alg2 | ProtocolKind::Bhs => EngineKind::ParallelChunked,
             ProtocolKind::Diffusion | ProtocolKind::BestResponse => EngineKind::Sequential,
         }
@@ -241,6 +252,23 @@ impl CellEngine for FastEngine<'_> {
     }
 }
 
+struct WeightClassEngine<'a> {
+    sim: WeightedFastSim<'a>,
+    threshold: Threshold,
+}
+
+impl CellEngine for WeightClassEngine<'_> {
+    fn step(&mut self) -> u64 {
+        self.sim.step().migrations
+    }
+    fn is_nash(&self) -> bool {
+        self.sim.is_nash(self.threshold)
+    }
+    fn psi0(&self) -> f64 {
+        self.sim.psi0()
+    }
+}
+
 struct ChunkedEngine<'a, P: TaskProtocol> {
     sim: ParallelSimulation<'a, P>,
     system: &'a System,
@@ -370,6 +398,30 @@ fn run_trial(cell: &CellSpec, engine: EngineKind, trial_seed: u64, max_rounds: u
             );
             drive(&mut FastEngine(sim), cell.stop, max_rounds)
         }
+        EngineKind::WeightedFast => {
+            // Collapse the sampled per-task weights into classes (lossless
+            // for finite-support distributions, quantized for continuous
+            // ones — the documented approximation of this engine) and the
+            // placement into per-(node, class) counts.
+            let task_weights: Vec<f64> = system.tasks().iter().map(|(_, w)| w).collect();
+            let task_nodes: Vec<usize> = (0..system.task_count())
+                .map(|t| built.initial.task_node(slb_core::model::TaskId(t)).index())
+                .collect();
+            let classes =
+                WeightClasses::from_samples(&task_weights, WeightClasses::DEFAULT_MAX_CLASSES);
+            let counts = classes.node_class_counts(&task_weights, &task_nodes, system.node_count());
+            let sim = WeightedFastSim::new(
+                system,
+                Alpha::Approximate,
+                ClassCountState::new(classes.weights().to_vec(), counts),
+                sim_seed,
+            );
+            drive(
+                &mut WeightClassEngine { sim, threshold },
+                cell.stop,
+                max_rounds,
+            )
+        }
         EngineKind::ParallelChunked => {
             // One worker thread inside the trial (the sweep parallelizes
             // across trials); the chunk-seeded schedule makes the
@@ -452,48 +504,35 @@ fn run_trial(cell: &CellSpec, engine: EngineKind, trial_seed: u64, max_rounds: u
 pub fn run_sweep(spec: &SweepSpec, config: SweepConfig) -> Result<SweepOutcome, SweepRunError> {
     validate(spec)?;
     let cells = spec.cells();
-    let supported: Vec<(usize, CellSpec)> = cells
-        .iter()
-        .copied()
-        .enumerate()
-        .filter(|(_, c)| c.is_supported())
-        .collect();
-    let keys: Vec<u64> = supported.iter().map(|(i, _)| *i as u64).collect();
+    let keys: Vec<u64> = (0..cells.len() as u64).collect();
     let trials = run_cell_trials(
         &keys,
         spec.trials,
         config.base_seed,
         config.threads,
         |pos, _trial, seed| {
-            let cell = &supported[pos].1;
+            let cell = &cells[pos];
             run_trial(cell, EngineKind::for_cell(cell), seed, spec.max_rounds)
         },
     );
 
-    let mut executed = supported.iter().zip(trials);
     let results = cells
         .iter()
+        .zip(trials)
         .enumerate()
-        .map(|(index, &cell)| {
+        .map(|(index, (&cell, raw))| {
             let engine = EngineKind::for_cell(&cell);
             let n = cell.graph.node_count();
-            let stats = if engine == EngineKind::Unsupported {
-                None
-            } else {
-                let (_, raw) = executed
-                    .next()
-                    .expect("one result group per supported cell");
-                let rounds: Vec<f64> = raw.iter().map(|t| t.rounds as f64).collect();
-                let migrations: Vec<f64> = raw.iter().map(|t| t.migrations as f64).collect();
-                let psi0: Vec<f64> = raw.iter().map(|t| t.psi0_final).collect();
-                Some(CellStats {
-                    reached_fraction: raw.iter().filter(|t| t.reached).count() as f64
-                        / raw.len() as f64,
-                    rounds: Summary::of(&rounds),
-                    migrations: Summary::of(&migrations),
-                    psi0_final: Summary::of(&psi0),
-                })
-            };
+            let rounds: Vec<f64> = raw.iter().map(|t| t.rounds as f64).collect();
+            let migrations: Vec<f64> = raw.iter().map(|t| t.migrations as f64).collect();
+            let psi0: Vec<f64> = raw.iter().map(|t| t.psi0_final).collect();
+            let stats = Some(CellStats {
+                reached_fraction: raw.iter().filter(|t| t.reached).count() as f64
+                    / raw.len() as f64,
+                rounds: Summary::of(&rounds),
+                migrations: Summary::of(&migrations),
+                psi0_final: Summary::of(&psi0),
+            });
             CellResult {
                 index,
                 spec: cell,
@@ -541,6 +580,18 @@ impl CellStats {
 }
 
 impl SweepOutcome {
+    /// Number of cells that were skipped rather than executed (zeroed
+    /// `unsupported` rows). Always 0 for grids produced by [`run_sweep`]
+    /// today — every protocol × task-mode combination has an engine — but
+    /// callers (the CLI) warn on it so zeroed rows can never silently pass
+    /// as measurements.
+    pub fn unsupported_cells(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.stats.is_none() || c.engine == EngineKind::Unsupported)
+            .count()
+    }
+
     /// Renders the sweep as deterministic CSV: [`CSV_HEADER`] followed by
     /// one row per cell in grid order. Floats use Rust's shortest
     /// round-trip formatting, so the artifact is byte-stable across runs,
@@ -650,7 +701,8 @@ mod tests {
         ]);
         let engines: Vec<EngineKind> = spec.cells().iter().map(EngineKind::for_cell).collect();
         // Weights is an outer axis relative to protocol: all five
-        // protocols on unit weights first, then on weighted tasks.
+        // protocols on unit weights first, then on weighted tasks (where
+        // Algorithm 1 dispatches to the weight-class engine).
         assert_eq!(
             engines,
             vec![
@@ -659,7 +711,7 @@ mod tests {
                 EngineKind::ParallelChunked,
                 EngineKind::Sequential,
                 EngineKind::Sequential,
-                EngineKind::Unsupported,
+                EngineKind::WeightedFast,
                 EngineKind::ParallelChunked,
                 EngineKind::ParallelChunked,
                 EngineKind::Sequential,
@@ -670,10 +722,12 @@ mod tests {
 
     #[test]
     fn default_sweep_runs_and_reaches_nash() {
-        let mut spec = SweepSpec::default();
-        spec.tasks_per_node = vec![8];
-        spec.trials = 2;
-        spec.max_rounds = 100_000;
+        let spec = SweepSpec {
+            tasks_per_node: vec![8],
+            trials: 2,
+            max_rounds: 100_000,
+            ..SweepSpec::default()
+        };
         let out = run_sweep(&spec, SweepConfig::sequential(7)).unwrap();
         assert_eq!(out.cells.len(), 1);
         let stats = out.cells[0].stats.as_ref().unwrap();
@@ -696,26 +750,34 @@ mod tests {
         ]);
         let out = run_sweep(&spec, SweepConfig::parallel(3)).unwrap();
         assert_eq!(out.cells.len(), 10);
+        assert_eq!(out.unsupported_cells(), 0, "every cell must execute");
         for cell in &out.cells {
-            if cell.engine == EngineKind::Unsupported {
-                assert_eq!(cell.spec.protocol, ProtocolKind::Alg1);
-                assert!(!cell.spec.is_uniform_tasks());
-                assert!(cell.stats.is_none());
-            } else {
-                let s = cell.stats.as_ref().unwrap();
-                assert_eq!(
-                    s.reached_fraction, 1.0,
-                    "cell {} did not quiesce: {:?}",
-                    cell.index, cell.spec
-                );
-            }
+            let s = cell.stats.as_ref().unwrap();
+            assert_eq!(
+                s.reached_fraction, 1.0,
+                "cell {} did not quiesce: {:?}",
+                cell.index, cell.spec
+            );
         }
+        // The formerly-unsupported alg1 × weighted cell now runs on the
+        // weight-class engine and carries real statistics.
+        let alg1_weighted = out
+            .cells
+            .iter()
+            .find(|c| c.spec.protocol == ProtocolKind::Alg1 && !c.spec.is_uniform_tasks())
+            .expect("grid contains alg1 × weighted");
+        assert_eq!(alg1_weighted.engine, EngineKind::WeightedFast);
+        let s = alg1_weighted.stats.as_ref().unwrap();
+        assert!(s.migrations.min > 0.0, "hot start must move tasks");
+        assert!(s.psi0_final.mean.is_finite());
         // The CSV has one row per cell, header first.
         let csv = out.to_csv();
         assert_eq!(csv.lines().count(), 11);
         assert_eq!(csv.lines().next().unwrap(), CSV_HEADER);
-        // Every JSON object — including the unsupported cell — carries
-        // the full field set (homogeneous schema).
+        assert!(!csv.contains(",unsupported,"));
+        assert!(csv.contains(",weighted-fast,"));
+        // Every JSON object carries the full field set (homogeneous
+        // schema).
         let json = out.to_json();
         let objects = json.lines().filter(|l| l.trim_start().starts_with('{'));
         let mut count = 0;
@@ -817,5 +879,62 @@ mod tests {
         let s = out.cells[0].stats.as_ref().unwrap();
         assert_eq!(s.reached_fraction, 1.0);
         assert!(s.psi0_final.mean.is_finite());
+    }
+
+    #[test]
+    fn alg1_weighted_runs_on_every_weight_distribution() {
+        // Finite-support (bimodal) maps to exact classes; continuous
+        // (uniform range, power law) quantizes — all three must produce
+        // engine-executed, non-zero rows under heterogeneous speeds.
+        let spec = small_spec(&[
+            "graph=ring:6",
+            "tasks-per-node=8",
+            "protocol=alg1",
+            "speeds=alternating:2",
+            "weights=bimodal:0.2:1:0.3,uniform:0.2..0.9,power-law:1.2:0.05",
+            "until=quiescent:20",
+            "trials=2",
+            "max-rounds=20000",
+        ]);
+        let out = run_sweep(&spec, SweepConfig::sequential(13)).unwrap();
+        assert_eq!(out.cells.len(), 3);
+        for cell in &out.cells {
+            assert_eq!(cell.engine, EngineKind::WeightedFast);
+            let s = cell.stats.as_ref().unwrap();
+            assert_eq!(s.reached_fraction, 1.0, "cell {:?}", cell.spec);
+            assert!(s.migrations.min > 0.0);
+            assert!(s.rounds.mean > 0.0);
+        }
+    }
+
+    #[test]
+    fn unsupported_rows_render_zeroed_and_are_countable() {
+        // No current combination dispatches to `Unsupported`; pin the
+        // schema-stability contract on a hand-built outcome so the zeroed
+        // rendering and the skip counter cannot rot.
+        let spec = SweepSpec::default();
+        let cell = spec.cells()[0];
+        let outcome = SweepOutcome {
+            base_seed: 1,
+            trials: 2,
+            max_rounds: 10,
+            cells: vec![CellResult {
+                index: 0,
+                spec: cell,
+                n: 8,
+                m: 128,
+                engine: EngineKind::Unsupported,
+                stats: None,
+            }],
+        };
+        assert_eq!(outcome.unsupported_cells(), 1);
+        let csv = outcome.to_csv();
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.contains(",unsupported,"), "row: {row}");
+        // Zeroed metrics and zero trials, not fabricated measurements.
+        assert!(row.ends_with(",10,0,0,0,0,0,0,0,0"), "row: {row}");
+        let json = outcome.to_json();
+        assert!(json.contains("\"engine\":\"unsupported\""));
+        assert!(json.contains("\"trials\":0"));
     }
 }

@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use slb_core::engine::uniform_fast::{CountState, UniformFastSim};
+use slb_core::engine::weighted_fast::{ClassCountState, WeightedFastSim};
 use slb_core::model::{SpeedVector, System, TaskSet, TaskState};
 use slb_core::protocol::{
     Alpha, BhsBaseline, Diffusion, Protocol, SelfishUniform, SelfishWeighted,
@@ -128,6 +129,64 @@ fn fast_path_benches(c: &mut Criterion) {
     group.finish();
 }
 
+/// The weight-class engine against the per-task parallel engine on the
+/// same 2-class weighted scenario (half weight 0.25, half weight 1.0, two
+/// speed classes) at large `m/n` — the paper's headline `alg1 × weighted`
+/// regime. The count-based round is `O(|E| + n·k)` versus the per-task
+/// engine's `O(m)`, so the gap should widen with `m/n`.
+fn weighted_fast_benches(c: &mut Criterion) {
+    use slb_core::engine::parallel::ParallelSimulation;
+    for (label, tasks_per_node) in [("ring64-mpn100", 100usize), ("ring64-mpn1000", 1000)] {
+        let graph = generators::ring(64);
+        let n = graph.node_count();
+        let m = n * tasks_per_node;
+        let weights: Vec<f64> = (0..m)
+            .map(|t| if t % 2 == 0 { 0.25 } else { 1.0 })
+            .collect();
+        let system = System::new(
+            graph,
+            SpeedVector::integer((0..n as u64).map(|i| 1 + i % 2).collect()).expect("valid"),
+            TaskSet::weighted(weights).expect("weights valid"),
+        )
+        .expect("valid instance");
+
+        let mut group = c.benchmark_group("round/weighted-fast");
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut per_node = vec![vec![0u64; 2]; n];
+            per_node[0] = vec![m as u64 / 2, m as u64 / 2];
+            let mut sim = WeightedFastSim::new(
+                &system,
+                Alpha::Approximate,
+                ClassCountState::new(vec![0.25, 1.0], per_node),
+                3,
+            );
+            for _ in 0..5 {
+                sim.step();
+            }
+            b.iter(|| sim.step())
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group("round/parallel-task-weighted");
+        group.sample_size(20);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut sim = ParallelSimulation::with_layout(
+                &system,
+                SelfishWeighted::new(),
+                TaskState::all_on_node(&system, slb_graphs::NodeId(0)),
+                3,
+                4096,
+                1,
+            );
+            for _ in 0..5 {
+                sim.step();
+            }
+            b.iter(|| sim.step())
+        });
+        group.finish();
+    }
+}
+
 fn parallel_engine_benches(c: &mut Criterion) {
     use slb_core::engine::parallel::ParallelSimulation;
     let system = uniform_system(generators::torus(16, 16), 200); // m = 51200
@@ -159,6 +218,7 @@ criterion_group!(
     benches,
     protocol_benches,
     fast_path_benches,
+    weighted_fast_benches,
     parallel_engine_benches
 );
 criterion_main!(benches);

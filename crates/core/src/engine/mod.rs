@@ -9,11 +9,16 @@
 //! across threads deterministically;
 //! [`uniform_fast`] replaces per-task sampling with per-node multinomial
 //! sampling for uniform tasks — distributionally identical and `O(n·Δ)`
-//! per round instead of `O(m)`.
+//! per round instead of `O(m)` — and [`weighted_fast`] generalizes that
+//! count-based path to weighted tasks and heterogeneous speeds via
+//! per-(node, weight class) multinomials. Both share the binomial sampler
+//! of [`sampling`].
 
 pub mod parallel;
 pub mod recorder;
+pub mod sampling;
 pub mod uniform_fast;
+pub mod weighted_fast;
 
 use crate::equilibrium::{self, Threshold};
 use crate::model::{System, TaskState};
@@ -164,7 +169,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             last_report = Some(report);
             trace.record(self.round, self.system, &self.state, Some(report));
         }
-        if self.round % sample_every != 0 {
+        if !self.round.is_multiple_of(sample_every) {
             trace.record_forced(self.round, self.system, &self.state, last_report);
         }
         trace

@@ -1,0 +1,189 @@
+//! Distribution sampling without external distribution crates.
+//!
+//! Both count-based engines ([`uniform_fast`](crate::engine::uniform_fast)
+//! and [`weighted_fast`](crate::engine::weighted_fast)) replace per-task
+//! Bernoulli draws with per-(node, class) multinomials, sampled as chained
+//! conditional binomials. This module holds the one binomial sampler they
+//! share: an exact inverse-transform CDF walk for small means, switching to
+//! a clamped rounded-normal approximation above
+//! [`NORMAL_APPROX_THRESHOLD`] (documented substitution — at those counts
+//! the relative error is far below the run-to-run variance of the
+//! protocols themselves; see DESIGN.md).
+//!
+//! # The underflow guard
+//!
+//! The CDF walk accumulates the pmf via the recurrence
+//! `pmf(k+1) = pmf(k)·(n−k)/(k+1)·p/(1−p)`. Deep in the upper tail the pmf
+//! underflows to exactly `0.0`, after which the accumulated CDF can never
+//! grow — an unlucky uniform draw `u` above the stalled CDF would then walk
+//! all the way to `k = n`, returning an absurd sample (for `n` in the
+//! millions, a count nowhere near the mean). The walk therefore stops as
+//! soon as the pmf underflows, and never proceeds past
+//! `mean + 10·sd` (a point with true tail mass below `10⁻²⁰`, unreachable
+//! by any representable `u` unless the recurrence has already degraded).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Mean above which [`sample_binomial`] switches to the normal
+/// approximation.
+pub const NORMAL_APPROX_THRESHOLD: f64 = 64.0;
+
+/// Samples a standard normal via Box–Muller.
+pub fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The inverse-transform CDF walk for `Binomial(n, p)` at quantile `u`,
+/// guarded against pmf underflow (see the module docs).
+///
+/// Requires `0 < p ≤ 1/2` (callers reduce to this range via the symmetry
+/// `Bin(n, p) = n − Bin(n, 1−p)`). Exposed so the underflow guard can be
+/// regression-tested with an adversarial `u`; use [`sample_binomial`] for
+/// ordinary sampling.
+pub fn binomial_inverse_cdf(n: u64, p: f64, u: f64) -> u64 {
+    debug_assert!(p > 0.0 && p <= 0.5, "walk requires 0 < p ≤ 1/2");
+    let mean = n as f64 * p;
+    let sd = (n as f64 * p * (1.0 - p)).sqrt();
+    // Hard cap at mean + 10·sd: the true mass beyond it is < 10⁻²⁰, so
+    // reaching the cap means `u` lies above every representable CDF value.
+    let cap = n.min((mean + 10.0 * sd).ceil() as u64 + 1);
+    // pmf(0) = (1−p)^n, computed in log space to avoid underflow at k = 0.
+    let mut pmf = ((n as f64) * (1.0 - p).ln()).exp();
+    let mut cdf = pmf;
+    let mut k = 0u64;
+    let ratio = p / (1.0 - p);
+    while u > cdf && k < cap {
+        k += 1;
+        pmf *= (n - k + 1) as f64 / k as f64 * ratio;
+        if pmf <= 0.0 {
+            // The pmf underflowed: the CDF can never grow again, so
+            // walking further would run to `cap` (and, before the guard
+            // existed, to `k = n`) without adding any probability mass.
+            break;
+        }
+        cdf += pmf;
+    }
+    k
+}
+
+/// Samples `Binomial(n, p)`.
+///
+/// Exact inverse-transform walk ([`binomial_inverse_cdf`]) for means up to
+/// [`NORMAL_APPROX_THRESHOLD`]; clamped rounded normal beyond.
+pub fn sample_binomial(n: u64, p: f64, rng: &mut StdRng) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    // Exploit symmetry to keep p ≤ 1/2 (shorter CDF walks).
+    if p > 0.5 {
+        return n - sample_binomial(n, 1.0 - p, rng);
+    }
+    let mean = n as f64 * p;
+    if mean > NORMAL_APPROX_THRESHOLD {
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let x = mean + sd * sample_standard_normal(rng);
+        return x.round().clamp(0.0, n as f64) as u64;
+    }
+    // pmf(0) cannot underflow here: with p ≤ 1/2, `−n·ln(1−p) ≤
+    // 2·ln(2)·mean ≤ 89`, so pmf(0) = (1−p)^n ≥ e⁻⁸⁹ — the walk's own
+    // guard covers everything past k = 0.
+    let u: f64 = rng.gen_range(0.0..1.0);
+    binomial_inverse_cdf(n, p, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(sample_binomial(10, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial(10, 1.0, &mut rng), 10);
+        for _ in 0..100 {
+            let k = sample_binomial(10, 0.3, &mut rng);
+            assert!(k <= 10);
+        }
+    }
+
+    #[test]
+    fn binomial_mean_is_right_small() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (n, p, trials) = (20u64, 0.25f64, 20000);
+        let sum: u64 = (0..trials).map(|_| sample_binomial(n, p, &mut rng)).sum();
+        let mean = sum as f64 / trials as f64;
+        let expected = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p) / trials as f64).sqrt();
+        assert!(
+            (mean - expected).abs() < 5.0 * sd,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn binomial_mean_is_right_large() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (n, p, trials) = (100_000u64, 0.2f64, 2000);
+        let sum: u64 = (0..trials).map(|_| sample_binomial(n, p, &mut rng)).sum();
+        let mean = sum as f64 / trials as f64;
+        let expected = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p) / trials as f64).sqrt();
+        assert!(
+            (mean - expected).abs() < 5.0 * sd,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn binomial_symmetry_branch() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 20000;
+        let sum: u64 = (0..trials)
+            .map(|_| sample_binomial(12, 0.75, &mut rng))
+            .sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 9.0).abs() < 0.15, "mean {mean} vs 9.0");
+    }
+
+    #[test]
+    fn cdf_walk_is_the_quantile_function_in_the_bulk() {
+        // Sanity anchors: u below pmf(0) gives 0; the median of a
+        // symmetric-ish binomial sits at the mean.
+        let p0 = 0.9f64.powi(10);
+        assert_eq!(binomial_inverse_cdf(10, 0.1, p0 * 0.5), 0);
+        assert_eq!(binomial_inverse_cdf(40, 0.5, 0.5), 20);
+    }
+
+    #[test]
+    fn cdf_walk_survives_pmf_underflow() {
+        // Regression for the underflow bug: Binomial(10⁷, 5·10⁻⁶) has mean
+        // 50 (exact-walk regime) but its pmf recurrence underflows to 0.0
+        // around k ≈ 260, freezing the accumulated CDF strictly below any
+        // u close enough to 1. The unguarded walk then ran to k = n = 10⁷
+        // — an absurd sample 6 orders of magnitude past the mean. The
+        // guard must stop at the far-tail cap instead, even for the most
+        // adversarial quantile.
+        let (n, p) = (10_000_000u64, 5e-6);
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let cap = (mean + 10.0 * sd).ceil() as u64 + 1;
+        for u in [1.0 - f64::EPSILON, 1.0] {
+            let k = binomial_inverse_cdf(n, p, u);
+            assert!(k <= cap, "k = {k} escaped the cap {cap} at u = {u}");
+        }
+        // Sampled values (the public API) stay sane too.
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..2000 {
+            let k = sample_binomial(n, p, &mut rng);
+            assert!(k <= cap, "sampled k = {k} beyond the cap {cap}");
+        }
+    }
+}

@@ -11,81 +11,22 @@
 //! sampled counts, a large constant-factor win for the Table 1 sweeps where
 //! `m/n` is large.
 //!
-//! The binomial sampler is exact (inverse-transform CDF walk) up to a mean
+//! The binomial sampler ([`crate::engine::sampling`], shared with the
+//! weight-class engine) is exact (inverse-transform CDF walk) up to a mean
 //! of [`NORMAL_APPROX_THRESHOLD`], beyond which a clamped normal
 //! approximation takes over; at those counts the relative error is far
 //! below the run-to-run variance of the protocol itself (documented
 //! substitution — see DESIGN.md).
 
+use crate::engine::sampling::sample_binomial;
 use crate::equilibrium;
 use crate::model::{SpeedVector, System};
 use crate::potential;
 use crate::protocol::{migration_probability, Alpha};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rand_distr_free::sample_binomial;
 
-/// Mean above which the internal binomial sampler switches to the normal
-/// approximation.
-pub const NORMAL_APPROX_THRESHOLD: f64 = 64.0;
-
-/// Exact-ish binomial sampling without external distribution crates.
-mod rand_distr_free {
-    use super::NORMAL_APPROX_THRESHOLD;
-    use rand::rngs::StdRng;
-    use rand::Rng;
-
-    /// Standard normal via Box–Muller.
-    fn sample_standard_normal(rng: &mut StdRng) -> f64 {
-        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-    }
-
-    /// Samples `Binomial(n, p)`.
-    ///
-    /// Inverse-transform walk over the pmf for small means (exact);
-    /// clamped rounded normal for large means.
-    pub fn sample_binomial(n: u64, p: f64, rng: &mut StdRng) -> u64 {
-        if n == 0 || p <= 0.0 {
-            return 0;
-        }
-        if p >= 1.0 {
-            return n;
-        }
-        // Exploit symmetry to keep p ≤ 1/2 (shorter CDF walks).
-        if p > 0.5 {
-            return n - sample_binomial(n, 1.0 - p, rng);
-        }
-        let mean = n as f64 * p;
-        if mean > NORMAL_APPROX_THRESHOLD {
-            let sd = (n as f64 * p * (1.0 - p)).sqrt();
-            let x = mean + sd * sample_standard_normal(rng);
-            return x.round().clamp(0.0, n as f64) as u64;
-        }
-        // Inverse transform: walk k upward accumulating the pmf.
-        // pmf(0) = (1−p)^n computed in log space to avoid underflow.
-        let log_q = (n as f64) * (1.0 - p).ln();
-        let mut pmf = log_q.exp();
-        if pmf <= 0.0 {
-            // Extreme underflow (huge n, tiny p with mean ≤ threshold is
-            // impossible unless n astronomically large); fall back.
-            let sd = (n as f64 * p * (1.0 - p)).sqrt();
-            let x = mean + sd * sample_standard_normal(rng);
-            return x.round().clamp(0.0, n as f64) as u64;
-        }
-        let mut cdf = pmf;
-        let u: f64 = rng.gen_range(0.0..1.0);
-        let mut k = 0u64;
-        let ratio = p / (1.0 - p);
-        while u > cdf && k < n {
-            k += 1;
-            pmf *= (n - k + 1) as f64 / k as f64 * ratio;
-            cdf += pmf;
-        }
-        k
-    }
-}
+pub use crate::engine::sampling::NORMAL_APPROX_THRESHOLD;
 
 /// The count-based state: `counts[i]` tasks on node `i`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -333,57 +274,6 @@ mod tests {
     fn sys(n_graph: slb_graphs::Graph, m: usize) -> System {
         let n = n_graph.node_count();
         System::new(n_graph, SpeedVector::uniform(n), TaskSet::uniform(m)).unwrap()
-    }
-
-    #[test]
-    fn binomial_edge_cases() {
-        let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(sample_binomial(0, 0.5, &mut rng), 0);
-        assert_eq!(sample_binomial(10, 0.0, &mut rng), 0);
-        assert_eq!(sample_binomial(10, 1.0, &mut rng), 10);
-        for _ in 0..100 {
-            let k = sample_binomial(10, 0.3, &mut rng);
-            assert!(k <= 10);
-        }
-    }
-
-    #[test]
-    fn binomial_mean_is_right_small() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let (n, p, trials) = (20u64, 0.25f64, 20000);
-        let sum: u64 = (0..trials).map(|_| sample_binomial(n, p, &mut rng)).sum();
-        let mean = sum as f64 / trials as f64;
-        let expected = n as f64 * p;
-        let sd = (n as f64 * p * (1.0 - p) / trials as f64).sqrt();
-        assert!(
-            (mean - expected).abs() < 5.0 * sd,
-            "mean {mean} vs expected {expected}"
-        );
-    }
-
-    #[test]
-    fn binomial_mean_is_right_large() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let (n, p, trials) = (100_000u64, 0.2f64, 2000);
-        let sum: u64 = (0..trials).map(|_| sample_binomial(n, p, &mut rng)).sum();
-        let mean = sum as f64 / trials as f64;
-        let expected = n as f64 * p;
-        let sd = (n as f64 * p * (1.0 - p) / trials as f64).sqrt();
-        assert!(
-            (mean - expected).abs() < 5.0 * sd,
-            "mean {mean} vs expected {expected}"
-        );
-    }
-
-    #[test]
-    fn binomial_symmetry_branch() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let trials = 20000;
-        let sum: u64 = (0..trials)
-            .map(|_| sample_binomial(12, 0.75, &mut rng))
-            .sum();
-        let mean = sum as f64 / trials as f64;
-        assert!((mean - 9.0).abs() < 0.15, "mean {mean} vs 9.0");
     }
 
     #[test]

@@ -170,8 +170,38 @@ pub fn makespan_ratio(system: &System, state: &TaskState) -> f64 {
     makespan(system, state) / system.average_load()
 }
 
+/// Edge condition `ℓ_i − ℓ_j ≤ w_i/s_j` on raw load arrays with explicit
+/// per-node threshold weights — the form shared by the count-based
+/// simulators (no [`TaskState`]). `threshold_weights[i]` is the binding
+/// weight on node `i` (1 for the relaxed rule, the lightest hosted weight
+/// for the exact weighted rule); nodes hosting no task
+/// (`occupied[i] == false`) produce no violations.
+pub fn is_nash_loads(
+    graph: &slb_graphs::Graph,
+    speeds: &crate::model::SpeedVector,
+    loads: &[f64],
+    threshold_weights: &[f64],
+    occupied: &[bool],
+) -> bool {
+    for &(a, b) in graph.edges() {
+        for (i, j) in [(a, b), (b, a)] {
+            if !occupied[i.index()] {
+                continue;
+            }
+            let sj = speeds.speed(j.index());
+            if loads[i.index()] - loads[j.index()] > threshold_weights[i.index()] / sj + 1e-12 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 /// Uniform-task edge condition `ℓ_i − ℓ_j ≤ 1/s_j` on raw load arrays —
 /// the form used by the fast count-based simulator (no [`TaskState`]).
+///
+/// The one-class special case of [`is_nash_loads`], kept allocation-free:
+/// the fast engine evaluates it before every round.
 pub fn is_nash_uniform_loads(
     graph: &slb_graphs::Graph,
     speeds: &crate::model::SpeedVector,

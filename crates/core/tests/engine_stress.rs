@@ -4,8 +4,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use slb_core::engine::parallel::ParallelSimulation;
+use slb_core::engine::parallel::{ParallelSimulation, DEFAULT_CHUNK_SIZE};
 use slb_core::engine::uniform_fast::{CountState, UniformFastSim};
+use slb_core::engine::weighted_fast::{ClassCountState, WeightedFastSim};
 use slb_core::engine::{Simulation, StopCondition, StopReason};
 use slb_core::equilibrium::{self, Threshold};
 use slb_core::model::{SpeedVector, System, TaskId, TaskSet, TaskState};
@@ -221,6 +222,127 @@ fn fast_sim_extreme_imbalance_and_large_counts() {
         sim.state().counts()[0] < m / 2,
         "hot node still holds {}",
         sim.state().counts()[0]
+    );
+}
+
+/// Distributional equivalence of the two weighted engines: on a 2-class
+/// instance (lossless class mapping), the round-1 migration *count
+/// distribution* of the weight-class fast path must match the per-task
+/// [`ParallelSimulation`] under `SelfishWeighted` — not just in mean, but
+/// bin by bin under the same two-sample χ²-style statistic as the
+/// uniform-engine test (fixed seeds; fully deterministic).
+#[test]
+fn weighted_fast_and_parallel_task_migration_distributions_agree() {
+    let graph = generators::ring(4);
+    let n = graph.node_count();
+    let m = 400usize;
+    // Exact 2-class weights: half 0.25, half 1.0, all on node 0.
+    let weights: Vec<f64> = (0..m)
+        .map(|t| if t % 2 == 0 { 0.25 } else { 1.0 })
+        .collect();
+    let system = System::new(
+        graph,
+        SpeedVector::uniform(n),
+        TaskSet::weighted(weights).unwrap(),
+    )
+    .unwrap();
+    let trials = 600u64;
+
+    let fast: Vec<u64> = (0..trials)
+        .map(|seed| {
+            let mut per_node = vec![vec![0u64; 2]; n];
+            per_node[0] = vec![200, 200];
+            let state = ClassCountState::new(vec![0.25, 1.0], per_node);
+            let mut sim = WeightedFastSim::new(&system, Alpha::Approximate, state, seed);
+            sim.step().migrations
+        })
+        .collect();
+    let task: Vec<u64> = (0..trials)
+        .map(|seed| {
+            let mut sim = ParallelSimulation::with_layout(
+                &system,
+                SelfishWeighted::new(),
+                TaskState::all_on_node(&system, NodeId(0)),
+                0xfeed_0000 + seed,
+                DEFAULT_CHUNK_SIZE,
+                1,
+            );
+            sim.step().migrations as u64
+        })
+        .collect();
+
+    // Width-2 bins over the shared range; under-filled bins (< 5 combined
+    // observations) merge into their successor to keep the two-sample
+    // homogeneity statistic Σ (a_i − b_i)²/(a_i + b_i) well-behaved.
+    let max_seen = fast.iter().chain(&task).copied().max().unwrap();
+    let width = 2u64;
+    let bins = (max_seen / width + 1) as usize;
+    let mut a = vec![0f64; bins];
+    let mut b = vec![0f64; bins];
+    for &x in &fast {
+        a[(x / width) as usize] += 1.0;
+    }
+    for &x in &task {
+        b[(x / width) as usize] += 1.0;
+    }
+    let mut chi2 = 0.0;
+    let mut dof = 0usize;
+    let (mut acc_a, mut acc_b) = (0.0, 0.0);
+    for i in 0..bins {
+        acc_a += a[i];
+        acc_b += b[i];
+        if acc_a + acc_b >= 5.0 {
+            chi2 += (acc_a - acc_b) * (acc_a - acc_b) / (acc_a + acc_b);
+            dof += 1;
+            acc_a = 0.0;
+            acc_b = 0.0;
+        }
+    }
+    if acc_a + acc_b > 0.0 {
+        chi2 += (acc_a - acc_b) * (acc_a - acc_b) / (acc_a + acc_b);
+        dof += 1;
+    }
+    assert!(dof >= 3, "degenerate binning: {dof} bins");
+    // χ²(dof) has mean dof, std dev √(2·dof); 3·dof is a ≫ 5σ ceiling —
+    // a real mismatch (shifted mean, wrong variance) fails, seed noise
+    // passes.
+    let ceiling = 3.0 * dof as f64;
+    assert!(
+        chi2 < ceiling,
+        "χ² = {chi2:.1} over {dof} bins exceeds {ceiling:.1}: weighted engines disagree in \
+         distribution"
+    );
+}
+
+#[test]
+fn weighted_fast_extreme_imbalance_and_large_counts() {
+    // A million 2-class tasks on one node of a small ring: the shared
+    // binomial sampler must stay stable through the normal-approximation
+    // regime, and per-class totals must hold exactly.
+    let n = 5;
+    let m = 1_000_000usize;
+    let weights: Vec<f64> = (0..m).map(|t| if t % 2 == 0 { 0.5 } else { 1.0 }).collect();
+    let system = System::new(
+        generators::ring(n),
+        SpeedVector::uniform(n),
+        TaskSet::weighted(weights).unwrap(),
+    )
+    .unwrap();
+    let mut per_node = vec![vec![0u64; 2]; n];
+    per_node[0] = vec![m as u64 / 2, m as u64 / 2];
+    let state = ClassCountState::new(vec![0.5, 1.0], per_node);
+    let mut sim = WeightedFastSim::new(&system, Alpha::Approximate, state, 11);
+    for _ in 0..200 {
+        sim.step();
+    }
+    assert_eq!(sim.state().total_tasks(), m as u64);
+    assert_eq!(sim.state().class_total(0), m as u64 / 2);
+    assert_eq!(sim.state().class_total(1), m as u64 / 2);
+    assert!(
+        sim.state().node_weight(0) < sim.state().total_weight() / 2.0,
+        "hot node still holds {} of {}",
+        sim.state().node_weight(0),
+        sim.state().total_weight()
     );
 }
 

@@ -189,6 +189,44 @@ proptest! {
         }
         prop_assert_eq!(sim.state().total(), total);
     }
+
+    /// The weight-class engine conserves the task total of every class —
+    /// and hence the total weight per class — every round, under arbitrary
+    /// initial splits of a 2-class population.
+    #[test]
+    fn weighted_fast_conserves_per_class_totals(
+        light in proptest::collection::vec(0u64..120, 4..10),
+        heavy_on_hot in 1u64..80,
+        seed in 0u64..200,
+    ) {
+        use slb_core::engine::weighted_fast::{ClassCountState, WeightedFastSim};
+        let n = light.len();
+        let light_total: u64 = light.iter().sum();
+        let m = (light_total + heavy_on_hot) as usize;
+        let class_weights = [0.25f64, 1.0];
+        let mut weights = vec![class_weights[0]; light_total as usize];
+        weights.extend(std::iter::repeat_n(class_weights[1], heavy_on_hot as usize));
+        let system = System::new(
+            generators::ring(n),
+            SpeedVector::integer((0..n as u64).map(|i| 1 + i % 2).collect()).unwrap(),
+            TaskSet::weighted(weights).unwrap(),
+        ).unwrap();
+        let per_node: Vec<Vec<u64>> = (0..n)
+            .map(|v| vec![light[v], if v == 0 { heavy_on_hot } else { 0 }])
+            .collect();
+        let state = ClassCountState::new(class_weights.to_vec(), per_node);
+        let expected_weight = state.total_weight();
+        let mut sim = WeightedFastSim::new(&system, Alpha::Approximate, state, seed);
+        for _ in 0..30 {
+            sim.step();
+            prop_assert_eq!(sim.state().class_total(0), light_total);
+            prop_assert_eq!(sim.state().class_total(1), heavy_on_hot);
+            prop_assert_eq!(sim.state().total_tasks(), m as u64);
+            // Weight is a pure function of the (conserved) class counts,
+            // so it is conserved exactly, not just to rounding.
+            prop_assert_eq!(sim.state().total_weight(), expected_weight);
+        }
+    }
 }
 
 /// Distributional equivalence of the two Algorithm 1 engines: on a small

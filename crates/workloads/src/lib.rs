@@ -9,6 +9,9 @@
 //!   Lemma 3.15) to random and near-balanced starts,
 //! * [`weights`] — task-weight distributions on `(0, 1]` (uniform, ranges,
 //!   bounded power laws, bimodal mixes),
+//! * [`weight_classes`] — quantization of sampled weights into the small
+//!   class sets consumed by the count-based weighted engine
+//!   (`slb_core::engine::weighted_fast`),
 //! * [`speeds`] — machine-speed distributions, including the
 //!   integer-granularity families required by Theorem 1.2,
 //! * [`scenario`] — named presets bundling a topology, speeds, weights and
@@ -37,7 +40,9 @@ pub mod placement;
 pub mod scenario;
 pub mod speeds;
 pub mod sweep;
+pub mod weight_classes;
 pub mod weights;
 
 pub use scenario::{BuiltScenario, ScenarioError};
 pub use sweep::{CellSpec, ProtocolKind, StopRule, SweepParseError, SweepSpec};
+pub use weight_classes::WeightClasses;

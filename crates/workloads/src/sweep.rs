@@ -35,7 +35,9 @@ use std::fmt;
 /// Which protocol a sweep cell runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
-    /// Algorithm 1 (`selfish-uniform`): uniform tasks only.
+    /// Algorithm 1 (`selfish-uniform`); on weighted tasks the cell runs
+    /// the paper's weighted generalization of the same dynamics (the
+    /// Definition-4.1 rule) on the count-based weight-class engine.
     Alg1,
     /// Algorithm 2 (`selfish-weighted`).
     Alg2,
@@ -184,13 +186,6 @@ impl CellSpec {
     /// Whether the cell's tasks are uniform (unit weights).
     pub fn is_uniform_tasks(&self) -> bool {
         self.weights == WeightDistribution::Unit
-    }
-
-    /// Whether the protocol supports this cell's task mode. Algorithm 1 is
-    /// defined for uniform tasks only; every other protocol handles both
-    /// modes.
-    pub fn is_supported(&self) -> bool {
-        self.protocol != ProtocolKind::Alg1 || self.is_uniform_tasks()
     }
 }
 
@@ -628,7 +623,7 @@ mod tests {
         let cells = spec.cells();
         assert_eq!(cells.len(), 1);
         assert_eq!(cells[0].protocol, ProtocolKind::Alg1);
-        assert!(cells[0].is_supported());
+        assert!(cells[0].is_uniform_tasks());
     }
 
     #[test]
@@ -678,14 +673,22 @@ mod tests {
     }
 
     #[test]
-    fn alg1_weighted_cells_are_unsupported() {
+    fn alg1_weighted_cells_are_first_class() {
+        // alg1 × weighted is a real grid cell (the paper's headline
+        // regime); the analysis layer dispatches it to the weight-class
+        // engine rather than zeroing it out.
         let spec =
             SweepSpec::parse(&["protocol=alg1,alg2", "weights=unit,uniform:0.2..0.8"]).unwrap();
         let cells = spec.cells();
-        let unsupported: Vec<_> = cells.iter().filter(|c| !c.is_supported()).collect();
-        assert_eq!(unsupported.len(), 1);
-        assert_eq!(unsupported[0].protocol, ProtocolKind::Alg1);
-        assert!(!unsupported[0].is_uniform_tasks());
+        let weighted_alg1: Vec<_> = cells
+            .iter()
+            .filter(|c| c.protocol == ProtocolKind::Alg1 && !c.is_uniform_tasks())
+            .collect();
+        assert_eq!(weighted_alg1.len(), 1);
+        assert_eq!(
+            weighted_alg1[0].weights,
+            WeightDistribution::UniformRange { lo: 0.2, hi: 0.8 }
+        );
     }
 
     #[test]

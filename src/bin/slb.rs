@@ -339,6 +339,9 @@ fn cmd_sweep(flags: HashMap<String, String>, grid: &[String]) -> Result<(), Stri
     }
     let outcome =
         run_sweep(&spec, SweepConfig { base_seed, threads }).map_err(|e| e.to_string())?;
+    if let Some(warning) = skipped_warning(outcome.unsupported_cells(), outcome.cells.len()) {
+        eprintln!("{warning}");
+    }
     let rendered = match flags.get("format").map(String::as_str).unwrap_or("csv") {
         "csv" => outcome.to_csv(),
         "json" => outcome.to_json(),
@@ -351,6 +354,19 @@ fn cmd_sweep(flags: HashMap<String, String>, grid: &[String]) -> Result<(), Stri
         None => print!("{rendered}"),
     }
     Ok(())
+}
+
+/// The one-line stderr warning for sweep grids with skipped cells: their
+/// rows are zeroed, and must never be mistaken for measurements. `None`
+/// (no warning) when every cell executed — the only outcome today, since
+/// every protocol × task-mode combination has an engine.
+fn skipped_warning(skipped: usize, total: usize) -> Option<String> {
+    (skipped > 0).then(|| {
+        format!(
+            "warning: {skipped} of {total} cells were skipped as unsupported; their rows are \
+             zeroed, not measured"
+        )
+    })
 }
 
 /// Whether the parsed flags request usage output (`--help` as a boolean
@@ -534,6 +550,14 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a.to_csv(), b.to_csv());
+    }
+
+    #[test]
+    fn skipped_cells_warning_fires_only_when_cells_were_skipped() {
+        assert_eq!(skipped_warning(0, 10), None);
+        let w = skipped_warning(2, 10).unwrap();
+        assert!(w.contains("2 of 10"), "{w}");
+        assert!(w.contains("zeroed"), "{w}");
     }
 
     #[test]

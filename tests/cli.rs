@@ -207,6 +207,12 @@ fn sweep_matches_golden_file_at_any_thread_count() {
             "sweep CSV at --threads {threads} diverges from tests/golden/sweep_small.csv \
              (same spec + seed must be byte-identical)"
         );
+        // Every cell executed on a real engine: no skipped-cell warning.
+        assert!(
+            stderr(&out).is_empty(),
+            "unexpected stderr: {}",
+            stderr(&out)
+        );
     }
 }
 
@@ -221,8 +227,23 @@ fn golden_sweep_covers_all_protocols_and_task_modes() {
     }
     assert!(golden.contains(",unit,"));
     assert!(golden.contains(",uniform:0.2..0.9,"));
-    // Algorithm 1 on weighted tasks is the one marked-unsupported cell.
-    assert_eq!(golden.matches(",unsupported,").count(), 1);
+    // Algorithm 1 on weighted tasks executes on the weight-class engine —
+    // no zeroed `unsupported` rows remain anywhere in the grid.
+    assert_eq!(golden.matches(",unsupported,").count(), 0);
+    let alg1_weighted = golden
+        .lines()
+        .find(|l| l.contains(",alg1,") && l.contains(",uniform:0.2..0.9,"))
+        .expect("golden sweep has the alg1 × weighted cell");
+    assert!(
+        alg1_weighted.contains(",weighted-fast,"),
+        "row: {alg1_weighted}"
+    );
+    // The row carries real measurements: 2 trials and a reached fraction
+    // of 1, not the zeroed placeholder it used to be.
+    let fields: Vec<&str> = alg1_weighted.split(',').collect();
+    assert_eq!(fields[10], "2", "trials column: {alg1_weighted}");
+    assert_eq!(fields[13], "1", "reached_fraction column: {alg1_weighted}");
+    assert_ne!(fields[19], "0", "migrations_mean column: {alg1_weighted}");
 }
 
 #[test]
