@@ -17,8 +17,16 @@ pub fn first_hit(series: &[(u64, f64)], target: f64) -> Option<u64> {
 
 /// The round by which the series first drops to `start/e` (one
 /// e-folding), where `start` is the value at the first sample.
+///
+/// Returns `None` for empty series and for non-positive starts: an
+/// e-folding of a zero or negative level is undefined, and the old
+/// behavior of reporting round 0 for them silently turned degenerate
+/// trajectories into "instant convergence".
 pub fn e_folding_round(series: &[(u64, f64)]) -> Option<u64> {
     let start = series.first()?.1;
+    if start <= 0.0 {
+        return None;
+    }
     first_hit(series, start / std::f64::consts::E)
 }
 
@@ -125,6 +133,70 @@ mod tests {
     fn geometric_rate_needs_two_points() {
         assert!(geometric_rate(&[(0, 5.0)], 0.0).is_none());
         assert!(geometric_rate(&[(0, 0.5), (1, 0.4)], 1.0).is_none());
+    }
+
+    // Regression tests for the degenerate-series edge cases the
+    // validation ladders can produce (instant convergence → constant or
+    // single-point series; oscillating protocols → non-monotone series).
+
+    #[test]
+    fn constant_series_has_no_e_folding_and_unit_rate() {
+        let flat: Vec<(u64, f64)> = (0..20).map(|r| (r, 7.5)).collect();
+        // A constant series never decays to start/e…
+        assert_eq!(e_folding_round(&flat), None);
+        // …and its fitted geometric rate is exactly 1 (no decay), not a
+        // panic from a degenerate fit.
+        let rate = geometric_rate(&flat, 1e-9).unwrap();
+        assert!((rate - 1.0).abs() < 1e-12, "rate {rate}");
+    }
+
+    #[test]
+    fn single_point_series_yields_none_not_panics() {
+        let one = [(3u64, 42.0)];
+        assert_eq!(e_folding_round(&one), None);
+        assert_eq!(geometric_rate(&one, 1e-9), None);
+        assert_eq!(first_hit(&one, 42.0), Some(3));
+        assert_eq!(first_hit(&one, 41.9), None);
+        assert_eq!(e_folding_round(&[]), None);
+        assert_eq!(envelope_violation(&[], 10.0, 0.0, 0.01), None);
+    }
+
+    #[test]
+    fn non_positive_start_has_no_e_folding() {
+        // A zero start used to report Some(0) ("instantly e-folded");
+        // the e-folding of a non-positive level is undefined.
+        assert_eq!(e_folding_round(&[(0, 0.0), (1, 0.0)]), None);
+        assert_eq!(e_folding_round(&[(0, -4.0), (1, -5.0)]), None);
+    }
+
+    #[test]
+    fn non_monotone_series_fit_is_defined() {
+        // An oscillating decay (e.g. rounded diffusion overshooting):
+        // the rate fit must average through the oscillation, not panic
+        // or return garbage outside (0, ∞).
+        let series: Vec<(u64, f64)> = (0..40)
+            .map(|r| {
+                let base = 1000.0 * 0.9f64.powi(r as i32);
+                (r, if r % 2 == 0 { base * 1.3 } else { base / 1.3 })
+            })
+            .collect();
+        let rate = geometric_rate(&series, 1e-9).unwrap();
+        assert!(rate > 0.0 && rate < 1.0, "rate {rate}");
+        assert!((rate - 0.9).abs() < 0.03, "rate {rate} far from 0.9");
+        // A non-monotone series still has a well-defined first hit…
+        let up_down = [(0, 10.0), (1, 2.0), (2, 11.0), (3, 1.0)];
+        assert_eq!(first_hit(&up_down, 3.0), Some(1));
+        // …and never-hit targets stay None.
+        assert_eq!(first_hit(&up_down, 0.5), None);
+    }
+
+    #[test]
+    fn duplicate_rounds_do_not_panic_the_rate_fit() {
+        // Two samples at the same round (a caller merging traces) must
+        // not reach linear_fit's constant-x panic.
+        assert_eq!(geometric_rate(&[(5, 10.0), (5, 8.0)], 1e-9), None);
+        let rate = geometric_rate(&[(5, 10.0), (5, 8.0), (6, 4.0)], 1e-9);
+        assert!(rate.is_some());
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * [`sweep`] — the protocol-generic sweep engine: executes declarative
 //!   [`SweepSpec`](slb_workloads::SweepSpec) grids across all five
 //!   protocols and renders deterministic CSV/JSON artifacts,
+//! * [`validate`] — the theorem-validation runner: executes the scaling
+//!   ladders of a [`ValidateSpec`](slb_workloads::ValidateSpec) on the
+//!   fast count-based engines, fits empirical exponents with confidence
+//!   intervals, and renders conformance reports against Table 1,
 //! * [`tables`] — markdown/CSV rendering and `target/experiments/`
 //!   artifact handling.
 //!
@@ -46,3 +50,4 @@ pub mod stats;
 pub mod sweep;
 pub mod tables;
 pub mod theory;
+pub mod validate;

@@ -93,6 +93,32 @@ pub struct FastRunOutcome {
     pub migrations: u64,
 }
 
+/// Per-round metrics hook for the uniform count-based engine — the
+/// counterpart of
+/// [`ClassRoundObserver`](crate::engine::weighted_fast::ClassRoundObserver)
+/// for [`CountState`] runs. Observers see the initial state as round 0
+/// with `migrations = None`, then every committed round.
+pub trait CountRoundObserver {
+    /// Called after each committed round (and once for the initial state).
+    fn observe(&mut self, round: u64, system: &System, state: &CountState, migrations: Option<u64>);
+}
+
+/// The no-op observer: running observed with `()` is running unobserved.
+impl CountRoundObserver for () {
+    fn observe(&mut self, _: u64, _: &System, _: &CountState, _: Option<u64>) {}
+}
+
+/// Stop rules understood by [`UniformFastSim::run_until_observed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UniformFastStop {
+    /// `Ψ₀ ≤ bound`.
+    Psi0Below(f64),
+    /// Exact (uniform-task) Nash equilibrium.
+    Nash,
+    /// ε-approximate Nash equilibrium.
+    EpsNash(f64),
+}
+
 /// Count-based simulator of **Algorithm 1** (uniform tasks).
 #[derive(Debug)]
 pub struct UniformFastSim<'a> {
@@ -101,6 +127,10 @@ pub struct UniformFastSim<'a> {
     state: CountState,
     rng: StdRng,
     round: u64,
+    /// Cached all-ones per-node threshold weights (uniform tasks), so the
+    /// ε-Nash predicates — evaluated before every round when used as a
+    /// stop rule — do not re-allocate a constant vector each call.
+    unit_thresholds: Vec<f64>,
 }
 
 impl<'a> UniformFastSim<'a> {
@@ -125,12 +155,14 @@ impl<'a> UniformFastSim<'a> {
             system.node_count(),
             "state length must match the node count"
         );
+        let nodes = state.counts().len();
         UniformFastSim {
             system,
             alpha: alpha.resolve(system.speeds()),
             state,
             rng: StdRng::seed_from_u64(seed),
             round: 0,
+            unit_thresholds: vec![1.0; nodes],
         }
     }
 
@@ -224,44 +256,86 @@ impl<'a> UniformFastSim<'a> {
         )
     }
 
-    /// Runs until `Ψ₀ ≤ bound` or the budget runs out.
-    pub fn run_until_psi0(&mut self, bound: f64, max_rounds: u64) -> FastRunOutcome {
+    /// Whether the current state is an ε-approximate (uniform-task) Nash
+    /// equilibrium, evaluated count-based — agrees exactly with
+    /// [`equilibrium::is_eps_nash`] on the expanded per-task state.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ ε ≤ 1`.
+    pub fn is_eps_nash(&self, eps: f64) -> bool {
+        let speeds = self.system.speeds();
+        equilibrium::is_eps_nash_loads(
+            self.system.graph(),
+            speeds,
+            &self.state.loads(speeds),
+            &self.unit_thresholds,
+            &self.occupied(),
+            eps,
+        )
+    }
+
+    /// The smallest `ε` for which the current state is an ε-approximate
+    /// NE (0 at an exact NE), evaluated count-based — agrees exactly with
+    /// [`equilibrium::nash_gap`] on the expanded per-task state.
+    pub fn nash_gap(&self) -> f64 {
+        let speeds = self.system.speeds();
+        equilibrium::nash_gap_loads(
+            self.system.graph(),
+            speeds,
+            &self.state.loads(speeds),
+            &self.unit_thresholds,
+            &self.occupied(),
+        )
+    }
+
+    fn occupied(&self) -> Vec<bool> {
+        self.state.counts().iter().map(|&c| c > 0).collect()
+    }
+
+    /// Runs until `stop` holds (checked before every round, so a satisfied
+    /// initial state costs zero rounds) or the budget runs out, feeding
+    /// every round through `observer`.
+    pub fn run_until_observed<O: CountRoundObserver>(
+        &mut self,
+        stop: UniformFastStop,
+        max_rounds: u64,
+        observer: &mut O,
+    ) -> FastRunOutcome {
+        observer.observe(self.round, self.system, &self.state, None);
+        let met = |sim: &Self| match stop {
+            UniformFastStop::Psi0Below(bound) => sim.psi0() <= bound,
+            UniformFastStop::Nash => sim.is_nash(),
+            UniformFastStop::EpsNash(eps) => sim.is_eps_nash(eps),
+        };
         let mut migrations = 0u64;
         for executed in 0..max_rounds {
-            if self.psi0() <= bound {
+            if met(self) {
                 return FastRunOutcome {
                     rounds: executed,
                     reached: true,
                     migrations,
                 };
             }
-            migrations += self.step();
+            let moved = self.step();
+            observer.observe(self.round, self.system, &self.state, Some(moved));
+            migrations += moved;
         }
         FastRunOutcome {
             rounds: max_rounds,
-            reached: self.psi0() <= bound,
+            reached: met(self),
             migrations,
         }
     }
 
+    /// Runs until `Ψ₀ ≤ bound` or the budget runs out.
+    pub fn run_until_psi0(&mut self, bound: f64, max_rounds: u64) -> FastRunOutcome {
+        self.run_until_observed(UniformFastStop::Psi0Below(bound), max_rounds, &mut ())
+    }
+
     /// Runs until an exact Nash equilibrium or the budget runs out.
     pub fn run_until_nash(&mut self, max_rounds: u64) -> FastRunOutcome {
-        let mut migrations = 0u64;
-        for executed in 0..max_rounds {
-            if self.is_nash() {
-                return FastRunOutcome {
-                    rounds: executed,
-                    reached: true,
-                    migrations,
-                };
-            }
-            migrations += self.step();
-        }
-        FastRunOutcome {
-            rounds: max_rounds,
-            reached: self.is_nash(),
-            migrations,
-        }
+        self.run_until_observed(UniformFastStop::Nash, max_rounds, &mut ())
     }
 }
 
@@ -390,6 +464,91 @@ mod tests {
         let out = sim.run_until_psi0(start / 100.0, 100_000);
         assert!(out.reached);
         assert!(sim.psi0() <= start / 100.0);
+    }
+
+    #[test]
+    fn eps_nash_and_gap_match_expanded_state() {
+        use crate::equilibrium::{self, Threshold};
+        use crate::model::TaskState;
+        let s = sys(generators::ring(5), 60);
+        let mut sim =
+            UniformFastSim::new(&s, Alpha::Approximate, CountState::all_on_node(5, 0, 60), 3);
+        for _ in 0..10 {
+            // Expand the counts into an explicit per-task assignment and
+            // compare the predicates exactly.
+            let mut assignment = Vec::with_capacity(60);
+            for (node, &c) in sim.state().counts().iter().enumerate() {
+                assignment.extend(std::iter::repeat_n(node, c as usize));
+            }
+            let st = TaskState::from_assignment(&s, &assignment).unwrap();
+            assert_eq!(
+                sim.nash_gap(),
+                equilibrium::nash_gap(&s, &st, Threshold::UnitWeight)
+            );
+            for eps in [0.0, 0.1, 0.5, 1.0] {
+                assert_eq!(
+                    sim.is_eps_nash(eps),
+                    equilibrium::is_eps_nash(&s, &st, Threshold::UnitWeight, eps)
+                );
+            }
+            sim.step();
+        }
+    }
+
+    #[test]
+    fn run_until_eps_nash_stops_before_exact() {
+        let s = sys(generators::ring(6), 240);
+        let run = |stop: UniformFastStop| {
+            let mut sim = UniformFastSim::new(
+                &s,
+                Alpha::Approximate,
+                CountState::all_on_node(6, 0, 240),
+                17,
+            );
+            let out = sim.run_until_observed(stop, 100_000, &mut ());
+            assert!(out.reached);
+            out.rounds
+        };
+        let approx = run(UniformFastStop::EpsNash(0.5));
+        let exact = run(UniformFastStop::Nash);
+        assert!(approx <= exact, "ε-NE ({approx}) after exact NE ({exact})");
+    }
+
+    #[test]
+    fn observer_sees_every_round() {
+        struct Tally {
+            calls: u64,
+            migrations: u64,
+        }
+        impl CountRoundObserver for Tally {
+            fn observe(
+                &mut self,
+                _round: u64,
+                _system: &System,
+                state: &CountState,
+                migrations: Option<u64>,
+            ) {
+                self.calls += 1;
+                self.migrations += migrations.unwrap_or(0);
+                assert_eq!(state.total(), 120);
+            }
+        }
+        let s = sys(generators::ring(6), 120);
+        let mut sim = UniformFastSim::new(
+            &s,
+            Alpha::Approximate,
+            CountState::all_on_node(6, 0, 120),
+            19,
+        );
+        let mut tally = Tally {
+            calls: 0,
+            migrations: 0,
+        };
+        let out = sim.run_until_observed(UniformFastStop::Nash, 50_000, &mut tally);
+        assert!(out.reached);
+        // Initial observation plus one per executed round.
+        assert_eq!(tally.calls, out.rounds + 1);
+        assert_eq!(tally.migrations, out.migrations);
     }
 
     #[test]

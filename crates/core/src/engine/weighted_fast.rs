@@ -184,6 +184,8 @@ pub enum WeightedFastStop {
     Psi0Below(f64),
     /// Nash equilibrium under the given threshold rule.
     Nash(Threshold),
+    /// ε-approximate Nash equilibrium under the given threshold rule.
+    EpsNash(Threshold, f64),
 }
 
 /// Count-based simulator of the **weighted selfish protocol** (the
@@ -346,6 +348,46 @@ impl<'a> WeightedFastSim<'a> {
     /// present on each node).
     pub fn is_nash(&self, threshold: Threshold) -> bool {
         let speeds = self.system.speeds();
+        let (loads, thresholds, occupied) = self.equilibrium_inputs(threshold);
+        equilibrium::is_nash_loads(self.system.graph(), speeds, &loads, &thresholds, &occupied)
+    }
+
+    /// Whether the current state is an ε-approximate Nash equilibrium
+    /// under `threshold`, evaluated count-based against the state's own
+    /// (possibly quantized) class weights — agrees exactly with
+    /// [`equilibrium::is_eps_nash`] on the expanded per-task state when
+    /// the classes are lossless.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ ε ≤ 1`.
+    pub fn is_eps_nash(&self, threshold: Threshold, eps: f64) -> bool {
+        let speeds = self.system.speeds();
+        let (loads, thresholds, occupied) = self.equilibrium_inputs(threshold);
+        equilibrium::is_eps_nash_loads(
+            self.system.graph(),
+            speeds,
+            &loads,
+            &thresholds,
+            &occupied,
+            eps,
+        )
+    }
+
+    /// The smallest `ε` for which the current state is an ε-approximate
+    /// NE under `threshold` (0 at an exact NE), evaluated count-based —
+    /// agrees exactly with [`equilibrium::nash_gap`] on the expanded
+    /// per-task state when the classes are lossless.
+    pub fn nash_gap(&self, threshold: Threshold) -> f64 {
+        let speeds = self.system.speeds();
+        let (loads, thresholds, occupied) = self.equilibrium_inputs(threshold);
+        equilibrium::nash_gap_loads(self.system.graph(), speeds, &loads, &thresholds, &occupied)
+    }
+
+    /// Loads, per-node threshold weights and occupancy for the equilibrium
+    /// predicates (shared by the exact, ε and gap forms).
+    fn equilibrium_inputs(&self, threshold: Threshold) -> (Vec<f64>, Vec<f64>, Vec<bool>) {
+        let speeds = self.system.speeds();
         let loads = self.state.loads(speeds);
         let n = self.state.nodes();
         let occupied: Vec<bool> = (0..n).map(|v| self.state.node_task_count(v) > 0).collect();
@@ -355,7 +397,7 @@ impl<'a> WeightedFastSim<'a> {
                 .map(|v| self.state.min_weight_present(v).unwrap_or(f64::INFINITY))
                 .collect(),
         };
-        equilibrium::is_nash_loads(self.system.graph(), speeds, &loads, &thresholds, &occupied)
+        (loads, thresholds, occupied)
     }
 
     /// Runs until `stop` holds (checked before every round, so a satisfied
@@ -371,6 +413,7 @@ impl<'a> WeightedFastSim<'a> {
         let met = |sim: &Self| match stop {
             WeightedFastStop::Psi0Below(bound) => sim.psi0() <= bound,
             WeightedFastStop::Nash(threshold) => sim.is_nash(threshold),
+            WeightedFastStop::EpsNash(threshold, eps) => sim.is_eps_nash(threshold, eps),
         };
         let mut migrations = 0u64;
         for executed in 0..max_rounds {
@@ -587,6 +630,65 @@ mod tests {
             (fast_mean - task_mean).abs() < 0.15 * task_mean.max(1.0),
             "fast {fast_mean} vs task-level {task_mean}"
         );
+    }
+
+    #[test]
+    fn eps_nash_and_gap_match_expanded_state() {
+        use crate::model::{TaskSet, TaskState};
+        // Dyadic weights: per-node sums are exact in f64, so the expanded
+        // per-task evaluation is bit-identical to the count-based one.
+        let n = 4;
+        let per_node = [[3u64, 1], [0, 2], [5, 0], [0, 0]];
+        let class_weights = [0.25f64, 1.0];
+        let mut task_weights = Vec::new();
+        let mut assignment = Vec::new();
+        for (node, row) in per_node.iter().enumerate() {
+            for (c, &count) in row.iter().enumerate() {
+                for _ in 0..count {
+                    task_weights.push(class_weights[c]);
+                    assignment.push(node);
+                }
+            }
+        }
+        let sys = System::new(
+            generators::ring(n),
+            SpeedVector::integer(vec![1, 2, 1, 4]).unwrap(),
+            TaskSet::weighted(task_weights).unwrap(),
+        )
+        .unwrap();
+        let st = TaskState::from_assignment(&sys, &assignment).unwrap();
+        let state = ClassCountState::new(
+            class_weights.to_vec(),
+            per_node.iter().map(|r| r.to_vec()).collect(),
+        );
+        let sim = WeightedFastSim::new(&sys, Alpha::Approximate, state, 1);
+        for threshold in [Threshold::UnitWeight, Threshold::LightestTask] {
+            assert_eq!(
+                sim.nash_gap(threshold),
+                equilibrium::nash_gap(&sys, &st, threshold)
+            );
+            for eps in [0.0, 0.3, 1.0] {
+                assert_eq!(
+                    sim.is_eps_nash(threshold, eps),
+                    equilibrium::is_eps_nash(&sys, &st, threshold, eps)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eps_nash_stop_halts_no_later_than_exact() {
+        let sys = two_class_sys(generators::ring(6), 240);
+        let run = |stop: WeightedFastStop| {
+            let mut sim =
+                WeightedFastSim::new(&sys, Alpha::Approximate, hot_state(6, &[120, 120]), 21);
+            let out = sim.run_until_observed(stop, 100_000, &mut ());
+            assert!(out.reached);
+            out.rounds
+        };
+        let approx = run(WeightedFastStop::EpsNash(Threshold::UnitWeight, 0.5));
+        let exact = run(WeightedFastStop::Nash(Threshold::UnitWeight));
+        assert!(approx <= exact, "ε-NE ({approx}) after exact NE ({exact})");
     }
 
     #[test]

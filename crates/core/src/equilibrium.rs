@@ -111,21 +111,10 @@ pub fn is_nash(system: &System, state: &TaskState, threshold: Threshold) -> bool
 ///
 /// Panics unless `0 ≤ ε ≤ 1`.
 pub fn is_eps_nash(system: &System, state: &TaskState, threshold: Threshold, eps: f64) -> bool {
-    assert!((0.0..=1.0).contains(&eps), "ε must lie in [0, 1]");
     let loads = state.loads(system);
     let w = threshold_weights(system, state, threshold);
-    for &(a, b) in system.graph().edges() {
-        for (i, j) in [(a, b), (b, a)] {
-            if state.node_task_count(i) == 0 {
-                continue;
-            }
-            let sj = system.speeds().speed(j.index());
-            if (1.0 - eps) * loads[i.index()] - loads[j.index()] > w[i.index()] / sj + 1e-12 {
-                return false;
-            }
-        }
-    }
-    true
+    let occupied = occupied_of_state(system, state);
+    is_eps_nash_loads(system.graph(), system.speeds(), &loads, &w, &occupied, eps)
 }
 
 /// The smallest `ε` for which the state is an ε-approximate NE (0 when it
@@ -134,23 +123,14 @@ pub fn is_eps_nash(system: &System, state: &TaskState, threshold: Threshold, eps
 pub fn nash_gap(system: &System, state: &TaskState, threshold: Threshold) -> f64 {
     let loads = state.loads(system);
     let w = threshold_weights(system, state, threshold);
-    let mut eps = 0.0f64;
-    for &(a, b) in system.graph().edges() {
-        for (i, j) in [(a, b), (b, a)] {
-            if state.node_task_count(i) == 0 {
-                continue;
-            }
-            let li = loads[i.index()];
-            if li <= 0.0 {
-                continue;
-            }
-            let sj = system.speeds().speed(j.index());
-            // (1−ε)·ℓ_i ≤ ℓ_j + w/s_j  ⇔  ε ≥ 1 − (ℓ_j + w/s_j)/ℓ_i.
-            let needed = 1.0 - (loads[j.index()] + w[i.index()] / sj) / li;
-            eps = eps.max(needed);
-        }
-    }
-    eps.max(0.0)
+    let occupied = occupied_of_state(system, state);
+    nash_gap_loads(system.graph(), system.speeds(), &loads, &w, &occupied)
+}
+
+fn occupied_of_state(system: &System, state: &TaskState) -> Vec<bool> {
+    (0..system.node_count())
+        .map(|v| state.node_task_count(NodeId(v)) > 0)
+        .collect()
 }
 
 /// The makespan `max_i ℓ_i(x)` — the social cost classically used in
@@ -195,6 +175,70 @@ pub fn is_nash_loads(
         }
     }
     true
+}
+
+/// ε-approximate edge condition `(1 − ε)·ℓ_i − ℓ_j ≤ w_i/s_j` on raw load
+/// arrays — the form shared by the count-based simulators (no
+/// [`TaskState`]). The [`TaskState`] form [`is_eps_nash`] delegates here,
+/// so the two evaluations agree *exactly* (bit for bit) on matching
+/// loads/thresholds — the contract the count-based validation ladders rely
+/// on.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ ε ≤ 1`.
+pub fn is_eps_nash_loads(
+    graph: &slb_graphs::Graph,
+    speeds: &crate::model::SpeedVector,
+    loads: &[f64],
+    threshold_weights: &[f64],
+    occupied: &[bool],
+    eps: f64,
+) -> bool {
+    assert!((0.0..=1.0).contains(&eps), "ε must lie in [0, 1]");
+    for &(a, b) in graph.edges() {
+        for (i, j) in [(a, b), (b, a)] {
+            if !occupied[i.index()] {
+                continue;
+            }
+            let sj = speeds.speed(j.index());
+            if (1.0 - eps) * loads[i.index()] - loads[j.index()]
+                > threshold_weights[i.index()] / sj + 1e-12
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The smallest `ε` for which the loads form an ε-approximate NE, on raw
+/// load arrays — the count-based counterpart of [`nash_gap`], which
+/// delegates here (so the two agree exactly on matching inputs).
+pub fn nash_gap_loads(
+    graph: &slb_graphs::Graph,
+    speeds: &crate::model::SpeedVector,
+    loads: &[f64],
+    threshold_weights: &[f64],
+    occupied: &[bool],
+) -> f64 {
+    let mut eps = 0.0f64;
+    for &(a, b) in graph.edges() {
+        for (i, j) in [(a, b), (b, a)] {
+            if !occupied[i.index()] {
+                continue;
+            }
+            let li = loads[i.index()];
+            if li <= 0.0 {
+                continue;
+            }
+            let sj = speeds.speed(j.index());
+            // (1−ε)·ℓ_i ≤ ℓ_j + w/s_j  ⇔  ε ≥ 1 − (ℓ_j + w/s_j)/ℓ_i.
+            let needed = 1.0 - (loads[j.index()] + threshold_weights[i.index()] / sj) / li;
+            eps = eps.max(needed);
+        }
+    }
+    eps.max(0.0)
 }
 
 /// Uniform-task edge condition `ℓ_i − ℓ_j ≤ 1/s_j` on raw load arrays —
@@ -372,6 +416,59 @@ mod tests {
         assert_eq!(
             is_nash(&sys, &st, Threshold::UnitWeight),
             is_nash_uniform_loads(sys.graph(), sys.speeds(), &loads, &counts)
+        );
+    }
+
+    #[test]
+    fn eps_loads_forms_match_state_forms_exactly() {
+        let sys = System::new(
+            generators::ring(5),
+            SpeedVector::integer(vec![1, 2, 1, 4, 1]).unwrap(),
+            TaskSet::weighted(vec![0.25, 0.5, 1.0, 0.25, 0.5, 1.0, 0.25]).unwrap(),
+        )
+        .unwrap();
+        let st = TaskState::from_assignment(&sys, &[0, 0, 0, 1, 2, 2, 4]).unwrap();
+        let loads = st.loads(&sys);
+        let occupied: Vec<bool> = (0..5).map(|i| st.node_task_count(NodeId(i)) > 0).collect();
+        for threshold in [Threshold::UnitWeight, Threshold::LightestTask] {
+            let w = threshold_weights(&sys, &st, threshold);
+            assert_eq!(
+                nash_gap(&sys, &st, threshold),
+                nash_gap_loads(sys.graph(), sys.speeds(), &loads, &w, &occupied),
+            );
+            for eps in [0.0, 0.25, 0.5, 1.0] {
+                assert_eq!(
+                    is_eps_nash(&sys, &st, threshold, eps),
+                    is_eps_nash_loads(sys.graph(), sys.speeds(), &loads, &w, &occupied, eps),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nash_gap_loads_skips_empty_and_zero_load_sources() {
+        // Node 1 hosts nothing, node 2 hosts a zero-ish source via
+        // occupied-but-zero-load (cannot happen with positive weights, but
+        // the predicate must not divide by zero).
+        let sys = uniform_system(3, 3);
+        let loads = [3.0, 0.0, 0.0];
+        let w = [1.0, 1.0, 1.0];
+        let occupied = [true, false, true];
+        let gap = nash_gap_loads(sys.graph(), sys.speeds(), &loads, &w, &occupied);
+        assert!((gap - (1.0 - 1.0 / 3.0)).abs() < 1e-12, "gap {gap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must lie in [0, 1]")]
+    fn bad_eps_loads_panics() {
+        let sys = uniform_system(2, 2);
+        let _ = is_eps_nash_loads(
+            sys.graph(),
+            sys.speeds(),
+            &[1.0, 1.0],
+            &[1.0, 1.0],
+            &[true, true],
+            -0.1,
         );
     }
 

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use slb_core::engine::uniform_fast::{CountState, UniformFastSim};
 use slb_core::model::{SpeedVector, System, TaskSet, TaskState};
 use slb_core::protocol::{
@@ -124,6 +124,143 @@ proptest! {
                     "task {t} jumped {prev} → {now}"
                 );
             }
+        }
+    }
+
+    /// Count-based `is_eps_nash`/`nash_gap` on `UniformFastSim` states
+    /// agree **exactly** (bit for bit) with the task-based
+    /// `equilibrium.rs` predicates on the expanded per-task state, across
+    /// random systems, speeds and trajectories. Unit weights sum exactly
+    /// in f64, so no tolerance is needed.
+    #[test]
+    fn uniform_count_predicates_match_expanded_state(
+        n in 3usize..9,
+        tasks_per_node in 1usize..12,
+        speed_seed in 0u64..100,
+        sim_seed in 0u64..500,
+        rounds in 0usize..12,
+        eps_steps in 0u32..5,
+    ) {
+        use slb_core::equilibrium::{self, Threshold};
+        let graph = generators::ring(n);
+        let m = n * tasks_per_node;
+        let mut srng = StdRng::seed_from_u64(speed_seed);
+        let speeds = SpeedVector::integer(
+            (0..n).map(|_| 1 + srng.next_u64() % 4).collect(),
+        ).unwrap();
+        let system = System::new(graph, speeds, TaskSet::uniform(m)).unwrap();
+        let mut sim = UniformFastSim::new(
+            &system,
+            Alpha::Approximate,
+            CountState::all_on_node(n, 0, m as u64),
+            sim_seed,
+        );
+        for _ in 0..rounds {
+            sim.step();
+        }
+        // Expand the counts into an explicit per-task assignment.
+        let mut assignment = Vec::with_capacity(m);
+        for (node, &c) in sim.state().counts().iter().enumerate() {
+            assignment.extend(std::iter::repeat_n(node, c as usize));
+        }
+        let st = TaskState::from_assignment(&system, &assignment).unwrap();
+        let eps = f64::from(eps_steps) * 0.25;
+        prop_assert_eq!(
+            sim.is_eps_nash(eps),
+            equilibrium::is_eps_nash(&system, &st, Threshold::UnitWeight, eps)
+        );
+        prop_assert_eq!(
+            sim.nash_gap(),
+            equilibrium::nash_gap(&system, &st, Threshold::UnitWeight)
+        );
+        prop_assert_eq!(
+            sim.is_nash(),
+            equilibrium::is_nash(&system, &st, Threshold::UnitWeight)
+        );
+    }
+
+    /// The same exact agreement for `WeightedFastSim` states under both
+    /// threshold rules. Class weights are dyadic (k/8), so per-node
+    /// weight sums are exact in f64 and the count-based and expanded
+    /// evaluations are bit-identical.
+    #[test]
+    fn weighted_count_predicates_match_expanded_state(
+        n in 3usize..8,
+        per_class in 1usize..8,
+        speed_seed in 0u64..100,
+        sim_seed in 0u64..500,
+        rounds in 0usize..12,
+        light_eighths in 1u32..8,
+    ) {
+        use slb_core::engine::weighted_fast::{ClassCountState, WeightedFastSim};
+        use slb_core::equilibrium::{self, Threshold};
+        let graph = generators::ring(n);
+        let light = f64::from(light_eighths) / 8.0;
+        let class_weights = vec![light, 1.0];
+        let m = n * per_class * 2;
+        let mut srng = StdRng::seed_from_u64(speed_seed);
+        let speeds = SpeedVector::integer(
+            (0..n).map(|_| 1 + srng.next_u64() % 4).collect(),
+        ).unwrap();
+        // Tasks in class-major order per node, matching the expansion
+        // below.
+        let mut task_weights = Vec::with_capacity(m);
+        for _ in 0..n {
+            for &w in &class_weights {
+                task_weights.extend(std::iter::repeat_n(w, per_class));
+            }
+        }
+        let system = System::new(graph, speeds, TaskSet::weighted(task_weights).unwrap()).unwrap();
+        let per_node: Vec<Vec<u64>> =
+            (0..n).map(|_| vec![per_class as u64, per_class as u64]).collect();
+        let mut sim = WeightedFastSim::new(
+            &system,
+            Alpha::Approximate,
+            ClassCountState::new(class_weights.clone(), per_node),
+            sim_seed,
+        );
+        for _ in 0..rounds {
+            sim.step();
+        }
+        // Expand counts into per-task assignments: tasks of node `v` are
+        // `v·2k .. (v+1)·2k` (light first, heavy second), and within a
+        // class any placement matching the counts is equivalent — build
+        // one greedily.
+        let mut assignment = vec![0usize; m];
+        let mut next_of_class: Vec<Vec<usize>> = vec![Vec::new(); 2];
+        for v in 0..n {
+            for (c, pool) in next_of_class.iter_mut().enumerate() {
+                let base = v * per_class * 2 + c * per_class;
+                pool.extend(base..base + per_class);
+            }
+        }
+        for v in 0..n {
+            for (c, pool) in next_of_class.iter_mut().enumerate() {
+                let count = sim.state().counts(v)[c] as usize;
+                for _ in 0..count {
+                    assignment[pool.pop().unwrap()] = v;
+                }
+            }
+        }
+        let st = TaskState::from_assignment(&system, &assignment).unwrap();
+        for threshold in [Threshold::UnitWeight, Threshold::LightestTask] {
+            prop_assert_eq!(
+                sim.nash_gap(threshold),
+                equilibrium::nash_gap(&system, &st, threshold),
+                "gap mismatch under {:?}", threshold
+            );
+            for eps in [0.0, 0.25, 0.75, 1.0] {
+                prop_assert_eq!(
+                    sim.is_eps_nash(threshold, eps),
+                    equilibrium::is_eps_nash(&system, &st, threshold, eps),
+                    "eps-NE mismatch under {:?} at ε = {}", threshold, eps
+                );
+            }
+            prop_assert_eq!(
+                sim.is_nash(threshold),
+                equilibrium::is_nash(&system, &st, threshold),
+                "exact-NE mismatch under {:?}", threshold
+            );
         }
     }
 

@@ -18,7 +18,11 @@
 //!   placement into a ready-to-run [`System`](slb_core::model::System),
 //! * [`sweep`] — declarative experiment grids ([`SweepSpec`]) with the
 //!   `key=a,b,c` grid syntax consumed by `slb sweep` and the analysis
-//!   layer's sweep runner.
+//!   layer's sweep runner,
+//! * [`validate`] — declarative theorem-validation ladders
+//!   ([`ValidateSpec`]): sizeless graph families × geometric `n` and
+//!   `m/n` ladders, consumed by `slb validate` and the analysis layer's
+//!   conformance runner.
 //!
 //! # Example
 //!
@@ -40,9 +44,11 @@ pub mod placement;
 pub mod scenario;
 pub mod speeds;
 pub mod sweep;
+pub mod validate;
 pub mod weight_classes;
 pub mod weights;
 
 pub use scenario::{BuiltScenario, ScenarioError};
 pub use sweep::{CellSpec, ProtocolKind, StopRule, SweepParseError, SweepSpec};
+pub use validate::{FamilyShape, LoadRule, Regime, RowSpec, ValidateSpec};
 pub use weight_classes::WeightClasses;

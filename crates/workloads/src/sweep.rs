@@ -150,7 +150,7 @@ pub struct SweepParseError {
 }
 
 impl SweepParseError {
-    fn new(message: String) -> Self {
+    pub(crate) fn new(message: String) -> Self {
         SweepParseError { message }
     }
 }

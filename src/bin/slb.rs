@@ -25,6 +25,7 @@ USAGE:
   slb spectral [OPTIONS]   print λ₂ and the spectral bounds of a topology
   slb bounds   [OPTIONS]   print the paper's convergence bounds for an instance
   slb sweep [GRID] [OPTIONS]   run an experiment grid, emit CSV/JSON
+  slb validate [LADDER] [OPTIONS]   run scaling ladders, check Table 1 conformance
 
 TOPOLOGY OPTIONS (simulate/spectral/bounds):
   --family <complete|ring|path|mesh|torus|hypercube|star>   (default ring)
@@ -60,6 +61,24 @@ SWEEP OPTIONS:
                      for every thread count)                (default: cores)
   --format <csv|json>                                       (default csv)
   --out <PATH>       write the artifact to a file instead of stdout
+
+VALIDATE LADDER (positional key=a,b,c tokens; omitted keys use the default):
+  family=ring,complete,…        sizeless names: ring|path|complete|star|
+                                hypercube|mesh|torus        (default ring)
+  n=8..64:x2 | n=8,16,32        geometric or listed node-count ladder
+                                                            (default 8,16,32)
+  load=16 | load=delta:2        m/n per node, or Thm 1.1's m = 8δn³ scaling
+  protocol=alg1,…               as in sweep                 (default alg1)
+  regime=approx,eps,exact       Ψ₀≤4ψ_c | ε-Nash(eps) | exact NE (default approx)
+  speeds=… weights=… placement=…   single values, sweep syntax
+  eps=X              ε of the eps regime                    (default 0.25)
+  factor=X           rounds must stay ≤ X·theory bound      (default 2)
+  exp-tol=X          exponent slack vs the Table 1 shape    (default 0.3)
+
+VALIDATE OPTIONS:
+  --trials/--max-rounds/--seed/--threads   as in sweep
+  --report <md|csv|json>   report format                    (default md)
+  --out <PATH>       write the report to a file instead of stdout
 ";
 
 /// Splits raw arguments into `--flag [value]` pairs and positional
@@ -337,15 +356,74 @@ fn cmd_sweep(flags: HashMap<String, String>, grid: &[String]) -> Result<(), Stri
     if threads == 0 {
         return Err("--threads must be positive".into());
     }
+    // Check the output format before running, so a typo'd --format does
+    // not discard a long sweep.
+    let format = flags.get("format").map(String::as_str).unwrap_or("csv");
+    if !["csv", "json"].contains(&format) {
+        return Err(format!("unknown format `{format}` (use csv|json)"));
+    }
     let outcome =
         run_sweep(&spec, SweepConfig { base_seed, threads }).map_err(|e| e.to_string())?;
     if let Some(warning) = skipped_warning(outcome.unsupported_cells(), outcome.cells.len()) {
         eprintln!("{warning}");
     }
-    let rendered = match flags.get("format").map(String::as_str).unwrap_or("csv") {
+    let rendered = match format {
         "csv" => outcome.to_csv(),
-        "json" => outcome.to_json(),
-        other => return Err(format!("unknown format `{other}` (use csv|json)")),
+        _ => outcome.to_json(),
+    };
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("cannot write `{path}`: {e}"))?
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn cmd_validate(flags: HashMap<String, String>, ladder: &[String]) -> Result<(), String> {
+    use selfish_load_balancing::analysis::validate::{run_validate, ValidateConfig};
+    use selfish_load_balancing::workloads::ValidateSpec;
+
+    // `trials` and `max-rounds` exist both as ladder keys and as flags;
+    // giving both would silently shadow one, so treat it like any other
+    // duplicate.
+    for key in ["trials", "max-rounds"] {
+        let prefix = format!("{key}=");
+        if flags.contains_key(key) && ladder.iter().any(|t| t.starts_with(&prefix)) {
+            return Err(format!(
+                "`{key}` given both as a ladder token and as --{key}; pick one"
+            ));
+        }
+    }
+    let mut spec = ValidateSpec::parse(ladder).map_err(|e| e.to_string())?;
+    spec.trials = get(&flags, "trials", spec.trials)?;
+    spec.max_rounds = get(&flags, "max-rounds", spec.max_rounds)?;
+    if spec.trials == 0 {
+        return Err("--trials must be positive".into());
+    }
+    if spec.max_rounds == 0 {
+        return Err("--max-rounds must be positive".into());
+    }
+    let base_seed: u64 = get(&flags, "seed", 42)?;
+    let default_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let threads: usize = get(&flags, "threads", default_threads)?;
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    // Check the report format before running: a ladder can take minutes,
+    // and a typo'd --report must not discard the whole run.
+    let format = flags.get("report").map(String::as_str).unwrap_or("md");
+    if !["md", "csv", "json"].contains(&format) {
+        return Err(format!(
+            "unknown report format `{format}` (use md|csv|json)"
+        ));
+    }
+    let outcome =
+        run_validate(&spec, ValidateConfig { base_seed, threads }).map_err(|e| e.to_string())?;
+    let rendered = match format {
+        "md" => outcome.to_markdown(),
+        "csv" => outcome.to_csv(),
+        _ => outcome.to_json(),
     };
     match flags.get("out") {
         Some(path) => {
@@ -401,6 +479,15 @@ const SWEEP_FLAGS: &[&str] = &[
     "format",
     "out",
 ];
+const VALIDATE_FLAGS: &[&str] = &[
+    "help",
+    "trials",
+    "max-rounds",
+    "seed",
+    "threads",
+    "report",
+    "out",
+];
 
 /// Rejects misspelled flags instead of silently ignoring them (a dropped
 /// `--seed` would otherwise produce a wrong-but-plausible artifact).
@@ -446,6 +533,14 @@ fn main() -> ExitCode {
             }
             reject_unknown(&flags, SWEEP_FLAGS)?;
             cmd_sweep(flags, &grid)
+        }),
+        "validate" => parse_args(rest).and_then(|(flags, ladder)| {
+            if wants_help(&flags) {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            reject_unknown(&flags, VALIDATE_FLAGS)?;
+            cmd_validate(flags, &ladder)
         }),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");

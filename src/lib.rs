@@ -59,6 +59,7 @@ pub mod prelude {
     };
     pub use slb_analysis::sweep::{run_sweep, CellResult, SweepConfig, SweepOutcome};
     pub use slb_analysis::theory;
+    pub use slb_analysis::validate::{run_validate, RowResult, ValidateConfig, ValidateOutcome};
     pub use slb_core::engine::{
         parallel::ParallelSimulation, recorder::Trace, uniform_fast::UniformFastSim, RunOutcome,
         Simulation, StopCondition, StopReason,
@@ -75,4 +76,5 @@ pub mod prelude {
     pub use slb_workloads::placement::Placement;
     pub use slb_workloads::scenario;
     pub use slb_workloads::sweep::{CellSpec, ProtocolKind, StopRule, SweepSpec};
+    pub use slb_workloads::validate::{FamilyShape, LoadRule, Regime, RowSpec, ValidateSpec};
 }

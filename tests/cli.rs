@@ -332,6 +332,164 @@ fn sweep_json_format_and_out_file() {
     std::fs::remove_file(&path).ok();
 }
 
+/// The pinned small-ladder invocation behind
+/// `tests/golden/validate_small.md` (also run by CI's smoke-validate
+/// step). One tiny ring ladder covering all five protocols and both
+/// theorem regimes, including a censored row (diffusion never reaches an
+/// exact NE — its rounded flows stall — and the report must say so
+/// rather than fabricate a fit).
+const GOLDEN_VALIDATE_ARGS: &[&str] = &[
+    "validate",
+    "family=ring",
+    "n=4,8",
+    "load=8",
+    "protocol=alg1,alg2,bhs,diffusion,best-response",
+    "regime=approx,exact",
+    "trials=2",
+    "--max-rounds",
+    "4000",
+    "--seed",
+    "42",
+];
+
+const VALIDATE_CSV_HEADER: &str = "row,protocol,family,regime,load,n_ladder,trials,base_seed,\
+                                   max_rounds,eps,factor,exp_tol,exponent,ci_lo,ci_hi,r_squared,\
+                                   pred_ladder,pred_asym,source,exponent_ok,max_bound_ratio,\
+                                   bound_ok,gap_ok,reached_min";
+
+#[test]
+fn validate_matches_golden_file_at_any_thread_count() {
+    let golden = include_str!("golden/validate_small.md");
+    for threads in ["1", "8"] {
+        let mut args = GOLDEN_VALIDATE_ARGS.to_vec();
+        args.extend(["--threads", threads]);
+        let out = slb(&args);
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        assert_eq!(
+            stdout(&out),
+            golden,
+            "validate report at --threads {threads} diverges from \
+             tests/golden/validate_small.md (same spec + seed must be byte-identical)"
+        );
+    }
+}
+
+#[test]
+fn golden_validate_covers_all_protocols_and_both_regimes() {
+    let golden = include_str!("golden/validate_small.md");
+    for protocol in ["alg1", "alg2", "bhs", "diffusion", "best-response"] {
+        for regime in ["approx", "exact"] {
+            assert!(
+                golden.lines().any(|l| l.contains(&format!("| {protocol} "))
+                    && l.contains(&format!("| {regime} "))),
+                "golden validate misses {protocol} × {regime}"
+            );
+        }
+    }
+    // The conformance columns are present and every checked row conforms.
+    assert!(golden.contains("exponent_ok"));
+    assert!(golden.contains("gap_ok"));
+    assert!(golden.contains("verdict: 6/6 checked rows conform (10 rows total)"));
+    // The censored diffusion × exact row reports reached_min 0, not a fit.
+    assert!(
+        golden.lines().any(|l| l.contains("| diffusion ")
+            && l.contains("| exact ")
+            && l.trim_end().ends_with("| 0           |")),
+        "censored diffusion row must be visible"
+    );
+}
+
+#[test]
+fn validate_report_formats_and_out_file() {
+    let out = slb(&[
+        "validate",
+        "n=4,8",
+        "load=4",
+        "trials=1",
+        "--max-rounds",
+        "2000",
+        "--report",
+        "csv",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert_eq!(text.lines().next().unwrap(), VALIDATE_CSV_HEADER);
+    assert_eq!(text.lines().count(), 2, "one row → header + one line");
+
+    let out = slb(&[
+        "validate",
+        "n=4,8",
+        "load=4",
+        "trials=1",
+        "--max-rounds",
+        "2000",
+        "--report",
+        "json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.starts_with("[\n"), "json: {text}");
+    assert!(text.contains("\"points\":["));
+    assert!(text.trim_end().ends_with(']'));
+
+    // --out writes the same artifact to a file and stays silent.
+    let path = std::env::temp_dir().join("slb_validate_out_test.md");
+    let path_str = path.to_str().unwrap();
+    let out = slb(&[
+        "validate",
+        "n=4,8",
+        "load=4",
+        "trials=1",
+        "--max-rounds",
+        "2000",
+        "--out",
+        path_str,
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).is_empty());
+    let written = std::fs::read_to_string(&path).unwrap();
+    assert!(written.starts_with("# Theorem-validation report"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn validate_rejects_malformed_ladders_with_exit_one() {
+    for (args, needle) in [
+        (&["validate", "family=blob"][..], "unknown family"),
+        (&["validate", "family=ring:8"], "unknown family"),
+        (&["validate", "n=8"], "at least two sizes"),
+        (&["validate", "n=32,16"], "strictly increasing"),
+        (&["validate", "n=8..64"], "needs a multiplier"),
+        (&["validate", "load=delta:0"], "load delta"),
+        (&["validate", "regime=sometime"], "unknown regime"),
+        (&["validate", "eps=2"], "eps must lie"),
+        (&["validate", "exp-tol=-1"], "exp-tol"),
+        (&["validate", "family=hypercube", "n=8,12"], "no 12-node"),
+        (&["validate", "--report", "xml"], "unknown report format"),
+        (&["validate", "--threads", "0"], "must be positive"),
+        (
+            &["validate", "n=4,8", "--seeed", "7"],
+            "unknown flag --seeed",
+        ),
+        (
+            &["validate", "trials=5", "--trials", "2"],
+            "given both as a ladder token",
+        ),
+    ] {
+        let out = slb(args);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "`slb {args:?}` must exit 1, not panic"
+        );
+        assert!(
+            stderr(&out).contains(needle),
+            "`slb {args:?}` stderr misses `{needle}`: {}",
+            stderr(&out)
+        );
+    }
+}
+
 #[test]
 fn deterministic_given_a_seed() {
     let args = [
