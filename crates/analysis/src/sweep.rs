@@ -9,10 +9,10 @@
 //! 2. dispatches to the right simulation engine automatically —
 //!    [`UniformFastSim`] for Algorithm 1 on uniform tasks (the `O(|E|)`
 //!    multinomial path), [`WeightedFastSim`] for Algorithm 1's weighted
-//!    generalization (per-(node, weight class) multinomials; continuous
-//!    weight distributions are quantized via [`WeightClasses`]), the
-//!    deterministic chunk-seeded schedule of [`ParallelSimulation`]
-//!    for the per-task protocols (Algorithm 2, the \[6\] baseline), and the
+//!    generalization, [`SpeedFastSim`] for the speed-aware per-task
+//!    protocols (Algorithm 2, the \[6\] baseline) — all three count-based
+//!    with per-(node, weight class) multinomials; continuous weight
+//!    distributions are quantized via [`WeightClasses`] — and the
 //!    sequential [`Simulation`] for the deterministic protocols (diffusion,
 //!    best response),
 //! 3. fans the flattened `(cell, trial)` work items out across threads via
@@ -34,16 +34,14 @@ use crate::runner::run_cell_trials;
 use crate::stats::Summary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use slb_core::engine::parallel::{ParallelSimulation, DEFAULT_CHUNK_SIZE};
+use slb_core::engine::speed_fast::{SpeedFastRule, SpeedFastSim};
 use slb_core::engine::uniform_fast::{CountState, UniformFastSim};
 use slb_core::engine::weighted_fast::{ClassCountState, WeightedFastSim};
 use slb_core::engine::{Simulation, StopCondition, StopReason};
-use slb_core::equilibrium::{self, Threshold};
+use slb_core::equilibrium::Threshold;
 use slb_core::model::System;
 use slb_core::potential;
-use slb_core::protocol::{
-    Alpha, BestResponse, BhsBaseline, Diffusion, SelfishWeighted, TaskProtocol,
-};
+use slb_core::protocol::{Alpha, BestResponse, Diffusion};
 use slb_core::rng::derive_seed;
 use slb_workloads::placement::Placement;
 use slb_workloads::scenario;
@@ -63,8 +61,10 @@ pub enum EngineKind {
     /// Count-based weight-class multinomial path (Algorithm 1's weighted
     /// rule; continuous weight distributions are quantized).
     WeightedFast,
-    /// Deterministic chunk-seeded per-task schedule (Algorithm 2, BHS).
-    ParallelChunked,
+    /// Count-based weight-class multinomial path for the speed-aware
+    /// per-task protocols (Algorithm 2, the \[6\] baseline); same
+    /// quantization caveat as `WeightedFast`.
+    SpeedFast,
     /// Sequential engine (diffusion, best response).
     Sequential,
     /// The protocol cannot run this task mode; no trials executed. No
@@ -79,18 +79,23 @@ impl EngineKind {
         match self {
             EngineKind::UniformFast => "uniform-fast",
             EngineKind::WeightedFast => "weighted-fast",
-            EngineKind::ParallelChunked => "parallel-chunked",
+            EngineKind::SpeedFast => "speed-fast",
             EngineKind::Sequential => "sequential",
             EngineKind::Unsupported => "unsupported",
         }
     }
 
-    /// The engine a cell dispatches to (a pure function of the cell).
+    /// The engine a cell dispatches to (a pure function of the cell). No
+    /// cell runs a per-task engine: every randomized protocol has a
+    /// count-based path (the deterministic chunk-seeded
+    /// [`slb_core::engine::parallel::ParallelSimulation`] remains the
+    /// reference implementation the χ² equivalence tests pin the fast
+    /// engines against).
     pub fn for_cell(cell: &CellSpec) -> EngineKind {
         match cell.protocol {
             ProtocolKind::Alg1 if cell.is_uniform_tasks() => EngineKind::UniformFast,
             ProtocolKind::Alg1 => EngineKind::WeightedFast,
-            ProtocolKind::Alg2 | ProtocolKind::Bhs => EngineKind::ParallelChunked,
+            ProtocolKind::Alg2 | ProtocolKind::Bhs => EngineKind::SpeedFast,
             ProtocolKind::Diffusion | ProtocolKind::BestResponse => EngineKind::Sequential,
         }
     }
@@ -269,25 +274,20 @@ impl CellEngine for WeightClassEngine<'_> {
     }
 }
 
-struct ChunkedEngine<'a, P: TaskProtocol> {
-    sim: ParallelSimulation<'a, P>,
-    system: &'a System,
+struct SpeedClassEngine<'a> {
+    sim: SpeedFastSim<'a>,
     threshold: Threshold,
 }
 
-impl<P: TaskProtocol> CellEngine for ChunkedEngine<'_, P> {
+impl CellEngine for SpeedClassEngine<'_> {
     fn step(&mut self) -> u64 {
-        self.sim.step().migrations as u64
+        self.sim.step().migrations
     }
     fn is_nash(&self) -> bool {
-        equilibrium::is_nash(self.system, self.sim.state(), self.threshold)
+        self.sim.is_nash(self.threshold)
     }
     fn psi0(&self) -> f64 {
-        potential::psi0(
-            self.sim.state().node_weights(),
-            self.system.speeds(),
-            self.system.tasks().total_weight(),
-        )
+        self.sim.psi0()
     }
 }
 
@@ -362,6 +362,21 @@ fn drive<E: CellEngine>(engine: &mut E, stop: StopRule, max_rounds: u64) -> RawT
     }
 }
 
+/// Collapses a built scenario's sampled per-task weights and placement
+/// into a weight-class count state for the count-based engines (lossless
+/// for finite-support weight distributions, quantized for continuous ones
+/// — the engines' documented approximation).
+pub(crate) fn class_state_of(built: &slb_workloads::BuiltScenario) -> ClassCountState {
+    let system = &built.system;
+    let task_weights: Vec<f64> = system.tasks().iter().map(|(_, w)| w).collect();
+    let task_nodes: Vec<usize> = (0..system.task_count())
+        .map(|t| built.initial.task_node(slb_core::model::TaskId(t)).index())
+        .collect();
+    let classes = WeightClasses::from_samples(&task_weights, WeightClasses::DEFAULT_MAX_CLASSES);
+    let counts = classes.node_class_counts(&task_weights, &task_nodes, system.node_count());
+    ClassCountState::new(classes.weights().to_vec(), counts)
+}
+
 /// Executes one trial of one cell. The trial seed is split into a
 /// scenario stream (speeds/weights/placement sampling) and a simulation
 /// stream, so engine choice and scenario construction cannot alias.
@@ -399,71 +414,32 @@ fn run_trial(cell: &CellSpec, engine: EngineKind, trial_seed: u64, max_rounds: u
             drive(&mut FastEngine(sim), cell.stop, max_rounds)
         }
         EngineKind::WeightedFast => {
-            // Collapse the sampled per-task weights into classes (lossless
-            // for finite-support distributions, quantized for continuous
-            // ones — the documented approximation of this engine) and the
-            // placement into per-(node, class) counts.
-            let task_weights: Vec<f64> = system.tasks().iter().map(|(_, w)| w).collect();
-            let task_nodes: Vec<usize> = (0..system.task_count())
-                .map(|t| built.initial.task_node(slb_core::model::TaskId(t)).index())
-                .collect();
-            let classes =
-                WeightClasses::from_samples(&task_weights, WeightClasses::DEFAULT_MAX_CLASSES);
-            let counts = classes.node_class_counts(&task_weights, &task_nodes, system.node_count());
-            let sim = WeightedFastSim::new(
-                system,
-                Alpha::Approximate,
-                ClassCountState::new(classes.weights().to_vec(), counts),
-                sim_seed,
-            );
+            let sim =
+                WeightedFastSim::new(system, Alpha::Approximate, class_state_of(&built), sim_seed);
             drive(
                 &mut WeightClassEngine { sim, threshold },
                 cell.stop,
                 max_rounds,
             )
         }
-        EngineKind::ParallelChunked => {
-            // One worker thread inside the trial (the sweep parallelizes
-            // across trials); the chunk-seeded schedule makes the
-            // trajectory identical under any intra-trial thread count.
-            let layout = |p| {
-                ParallelSimulation::with_layout(
-                    system,
-                    p,
-                    built.initial.clone(),
-                    sim_seed,
-                    DEFAULT_CHUNK_SIZE,
-                    1,
-                )
+        EngineKind::SpeedFast => {
+            let rule = match cell.protocol {
+                ProtocolKind::Alg2 => SpeedFastRule::Alg2,
+                ProtocolKind::Bhs => SpeedFastRule::Bhs,
+                _ => unreachable!("dispatch table covers the speed-aware protocols"),
             };
-            match cell.protocol {
-                ProtocolKind::Alg2 => drive(
-                    &mut ChunkedEngine {
-                        sim: layout(SelfishWeighted::new()),
-                        system,
-                        threshold,
-                    },
-                    cell.stop,
-                    max_rounds,
-                ),
-                ProtocolKind::Bhs => drive(
-                    &mut ChunkedEngine {
-                        sim: ParallelSimulation::with_layout(
-                            system,
-                            BhsBaseline::new(),
-                            built.initial.clone(),
-                            sim_seed,
-                            DEFAULT_CHUNK_SIZE,
-                            1,
-                        ),
-                        system,
-                        threshold,
-                    },
-                    cell.stop,
-                    max_rounds,
-                ),
-                _ => unreachable!("dispatch table covers the chunked protocols"),
-            }
+            let sim = SpeedFastSim::new(
+                system,
+                rule,
+                Alpha::Approximate,
+                class_state_of(&built),
+                sim_seed,
+            );
+            drive(
+                &mut SpeedClassEngine { sim, threshold },
+                cell.stop,
+                max_rounds,
+            )
         }
         EngineKind::Sequential => match cell.protocol {
             ProtocolKind::Diffusion => run_sequential(
@@ -701,19 +677,20 @@ mod tests {
         ]);
         let engines: Vec<EngineKind> = spec.cells().iter().map(EngineKind::for_cell).collect();
         // Weights is an outer axis relative to protocol: all five
-        // protocols on unit weights first, then on weighted tasks (where
-        // Algorithm 1 dispatches to the weight-class engine).
+        // protocols on unit weights first, then on weighted tasks. Every
+        // randomized protocol runs count-based — alg2/bhs on the
+        // speed-aware engine in both task modes.
         assert_eq!(
             engines,
             vec![
                 EngineKind::UniformFast,
-                EngineKind::ParallelChunked,
-                EngineKind::ParallelChunked,
+                EngineKind::SpeedFast,
+                EngineKind::SpeedFast,
                 EngineKind::Sequential,
                 EngineKind::Sequential,
                 EngineKind::WeightedFast,
-                EngineKind::ParallelChunked,
-                EngineKind::ParallelChunked,
+                EngineKind::SpeedFast,
+                EngineKind::SpeedFast,
                 EngineKind::Sequential,
                 EngineKind::Sequential,
             ]
@@ -776,6 +753,14 @@ mod tests {
         assert_eq!(csv.lines().next().unwrap(), CSV_HEADER);
         assert!(!csv.contains(",unsupported,"));
         assert!(csv.contains(",weighted-fast,"));
+        assert!(csv.contains(",speed-fast,"));
+        // No alg2/bhs cell falls back to a per-task engine.
+        for line in csv
+            .lines()
+            .filter(|l| l.contains(",alg2,") || l.contains(",bhs,"))
+        {
+            assert!(line.contains(",speed-fast,"), "row: {line}");
+        }
         // Every JSON object carries the full field set (homogeneous
         // schema).
         let json = out.to_json();

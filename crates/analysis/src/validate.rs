@@ -36,13 +36,15 @@
 //! than the asymptotic mixing the table describes (an empirical finding
 //! this subsystem makes visible).
 //!
-//! Ladders run on the *fast count-based engines* wherever one exists
-//! (`alg1` on uniform tasks → [`UniformFastSim`], `alg1` on weighted
-//! tasks → [`WeightedFastSim`]) using the count-based ε-Nash/gap
-//! predicates and the engines' observer-hook run loops; the per-task
-//! protocols run on the same engines the sweep uses. As with sweeps,
-//! every trial's randomness is a pure function of `(base seed, row,
-//! point, trial)`, so reports are **byte-identical at any thread count**.
+//! Ladders for every randomized protocol run on the *fast count-based
+//! engines* (`alg1` on uniform tasks → [`UniformFastSim`], `alg1` on
+//! weighted tasks → [`WeightedFastSim`], `alg2`/`bhs` →
+//! [`SpeedFastSim`]) using the count-based ε-Nash/gap predicates and the
+//! engines' observer-hook run loops — which is what lets alg2/bhs ladders
+//! reach depths the per-task `O(m)`-per-round engines could not; only the
+//! deterministic baselines run per-task. As with sweeps, every trial's
+//! randomness is a pure function of `(base seed, row, point, trial)`, so
+//! reports are **byte-identical at any thread count**.
 //!
 //! Caveat (also rendered into every report): the Table 1 entries are
 //! *asymptotic* bounds. The fitted exponents carry the dropped `log`
@@ -51,25 +53,22 @@
 //! declared constant factor", not a tight comparison.
 
 use crate::stats::{power_law_fit_ci, ExponentFit, Summary};
+use crate::sweep::class_state_of;
 use crate::tables::{fmt_value, Table};
 use crate::theory::{self, Instance, Table1Column};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use slb_core::engine::parallel::{ParallelSimulation, DEFAULT_CHUNK_SIZE};
+use slb_core::engine::speed_fast::{SpeedFastRule, SpeedFastSim};
 use slb_core::engine::uniform_fast::{CountState, UniformFastSim, UniformFastStop};
-use slb_core::engine::weighted_fast::{ClassCountState, WeightedFastSim, WeightedFastStop};
+use slb_core::engine::weighted_fast::{WeightedFastSim, WeightedFastStop};
 use slb_core::engine::{Simulation, StopCondition, StopReason};
 use slb_core::equilibrium::{self, Threshold};
 use slb_core::model::System;
-use slb_core::potential;
-use slb_core::protocol::{
-    Alpha, BestResponse, BhsBaseline, Diffusion, SelfishWeighted, TaskProtocol,
-};
+use slb_core::protocol::{Alpha, BestResponse, Diffusion};
 use slb_core::rng::derive_seed;
 use slb_workloads::scenario;
 use slb_workloads::sweep::ProtocolKind;
 use slb_workloads::validate::{Regime, RowSpec, ValidateSpec};
-use slb_workloads::weight_classes::WeightClasses;
 use slb_workloads::weights::WeightDistribution;
 use std::fmt;
 use std::fmt::Write as _;
@@ -328,17 +327,32 @@ fn run_trial(row: &RowSpec, spec: &ValidateSpec, n: usize, trial_seed: u64) -> R
             (out.rounds, out.reached, sim.nash_gap())
         }
         ProtocolKind::Alg1 => {
-            let task_weights: Vec<f64> = system.tasks().iter().map(|(_, w)| w).collect();
-            let task_nodes: Vec<usize> = (0..system.task_count())
-                .map(|t| built.initial.task_node(slb_core::model::TaskId(t)).index())
-                .collect();
-            let classes =
-                WeightClasses::from_samples(&task_weights, WeightClasses::DEFAULT_MAX_CLASSES);
-            let counts = classes.node_class_counts(&task_weights, &task_nodes, system.node_count());
-            let mut sim = WeightedFastSim::new(
+            let mut sim =
+                WeightedFastSim::new(system, Alpha::Approximate, class_state_of(&built), sim_seed);
+            let stop = match row.regime {
+                Regime::Approx => WeightedFastStop::Psi0Below(psi_bound),
+                Regime::Eps => WeightedFastStop::EpsNash(threshold, spec.eps),
+                Regime::Exact => WeightedFastStop::Nash(threshold),
+            };
+            let out = sim.run_until_observed(stop, max_rounds, &mut ());
+            (out.rounds, out.reached, sim.nash_gap(threshold))
+        }
+        // The speed-aware per-task protocols, also count-based: the
+        // weight-class collapse applies verbatim (the migration
+        // probability never depends on task identity, and the condition
+        // only through the weight class), so alg2/bhs ladders reach the
+        // same depths as alg1's.
+        ProtocolKind::Alg2 | ProtocolKind::Bhs => {
+            let rule = if row.protocol == ProtocolKind::Alg2 {
+                SpeedFastRule::Alg2
+            } else {
+                SpeedFastRule::Bhs
+            };
+            let mut sim = SpeedFastSim::new(
                 system,
+                rule,
                 Alpha::Approximate,
-                ClassCountState::new(classes.weights().to_vec(), counts),
+                class_state_of(&built),
                 sim_seed,
             );
             let stop = match row.regime {
@@ -349,30 +363,6 @@ fn run_trial(row: &RowSpec, spec: &ValidateSpec, n: usize, trial_seed: u64) -> R
             let out = sim.run_until_observed(stop, max_rounds, &mut ());
             (out.rounds, out.reached, sim.nash_gap(threshold))
         }
-        // The per-task randomized protocols on the deterministic
-        // chunk-seeded schedule.
-        ProtocolKind::Alg2 => run_chunked(
-            system,
-            SelfishWeighted::new(),
-            &built,
-            sim_seed,
-            row.regime,
-            spec.eps,
-            psi_bound,
-            threshold,
-            max_rounds,
-        ),
-        ProtocolKind::Bhs => run_chunked(
-            system,
-            BhsBaseline::new(),
-            &built,
-            sim_seed,
-            row.regime,
-            spec.eps,
-            psi_bound,
-            threshold,
-            max_rounds,
-        ),
         // The deterministic baselines on the sequential engine.
         ProtocolKind::Diffusion => run_sequential(
             system,
@@ -413,55 +403,6 @@ fn stop_of(regime: Regime, eps: f64, psi_bound: f64, threshold: Threshold) -> St
         Regime::Eps => StopCondition::EpsNash { threshold, eps },
         Regime::Exact => StopCondition::Nash(threshold),
     }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_chunked<P: TaskProtocol>(
-    system: &System,
-    protocol: P,
-    built: &slb_workloads::BuiltScenario,
-    sim_seed: u64,
-    regime: Regime,
-    eps: f64,
-    psi_bound: f64,
-    threshold: Threshold,
-    max_rounds: u64,
-) -> (u64, bool, f64) {
-    let mut sim = ParallelSimulation::with_layout(
-        system,
-        protocol,
-        built.initial.clone(),
-        sim_seed,
-        DEFAULT_CHUNK_SIZE,
-        1,
-    );
-    let met = |state: &slb_core::model::TaskState| match regime {
-        Regime::Approx => {
-            potential::psi0(
-                state.node_weights(),
-                system.speeds(),
-                system.tasks().total_weight(),
-            ) <= psi_bound
-        }
-        Regime::Eps => equilibrium::is_eps_nash(system, state, threshold, eps),
-        Regime::Exact => equilibrium::is_nash(system, state, threshold),
-    };
-    // Mirrors `Simulation::run_until` semantics: the condition is checked
-    // before every round and once more at budget exhaustion.
-    let mut result = None;
-    for executed in 0..max_rounds {
-        if met(sim.state()) {
-            result = Some(executed);
-            break;
-        }
-        sim.step();
-    }
-    let reached = result.is_some() || met(sim.state());
-    (
-        result.unwrap_or(max_rounds),
-        reached,
-        equilibrium::nash_gap(system, sim.state(), threshold),
-    )
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -1,9 +1,15 @@
 //! Criterion micro-benchmarks: one protocol round across protocols,
-//! topologies, and the fast count-based path.
+//! topologies, and the fast count-based paths.
+//!
+//! The `round/*` group × id naming is load-bearing:
+//! `scripts/bench_baseline.sh` parses this harness's stdout into
+//! `BENCH_baseline.json` (per-engine round throughput at m/n ∈ {10, 100,
+//! 1000}), the recorded baseline future perf PRs diff against.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use slb_core::engine::speed_fast::{SpeedFastRule, SpeedFastSim};
 use slb_core::engine::uniform_fast::{CountState, UniformFastSim};
 use slb_core::engine::weighted_fast::{ClassCountState, WeightedFastSim};
 use slb_core::model::{SpeedVector, System, TaskSet, TaskState};
@@ -106,7 +112,9 @@ fn protocol_benches(c: &mut Criterion) {
 fn fast_path_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("round/uniform-fast");
     for (label, graph, m) in [
-        ("ring64-m6400", generators::ring(64), 6_400u64),
+        ("ring64-mpn10", generators::ring(64), 640u64),
+        ("ring64-mpn100", generators::ring(64), 6_400u64),
+        ("ring64-mpn1000", generators::ring(64), 64_000u64),
         ("ring64-m640k", generators::ring(64), 640_000u64),
         ("torus16x16-m25k", generators::torus(16, 16), 25_600u64),
     ] {
@@ -129,42 +137,77 @@ fn fast_path_benches(c: &mut Criterion) {
     group.finish();
 }
 
-/// The weight-class engine against the per-task parallel engine on the
-/// same 2-class weighted scenario (half weight 0.25, half weight 1.0, two
-/// speed classes) at large `m/n` — the paper's headline `alg1 × weighted`
-/// regime. The count-based round is `O(|E| + n·k)` versus the per-task
-/// engine's `O(m)`, so the gap should widen with `m/n`.
-fn weighted_fast_benches(c: &mut Criterion) {
+/// The 2-class weighted scenario shared by the count-vs-per-task engine
+/// comparisons: half weight 0.25, half weight 1.0, alternating speeds 1
+/// and 2 on ring:64 (a genuinely non-uniform speed vector).
+fn two_class_speed_system(tasks_per_node: usize) -> System {
+    let graph = generators::ring(64);
+    let n = graph.node_count();
+    let m = n * tasks_per_node;
+    let weights: Vec<f64> = (0..m)
+        .map(|t| if t % 2 == 0 { 0.25 } else { 1.0 })
+        .collect();
+    System::new(
+        graph,
+        SpeedVector::integer((0..n as u64).map(|i| 1 + i % 2).collect()).expect("valid"),
+        TaskSet::weighted(weights).expect("weights valid"),
+    )
+    .expect("valid instance")
+}
+
+fn two_class_hot_state(n: usize, m: usize) -> ClassCountState {
+    let mut per_node = vec![vec![0u64; 2]; n];
+    per_node[0] = vec![m as u64 / 2, m as u64 / 2];
+    ClassCountState::new(vec![0.25, 1.0], per_node)
+}
+
+/// The count-based engines against the per-task parallel engine on the
+/// same 2-class, two-speed scenario across `m/n` ∈ {10, 100, 1000} — the
+/// paper's headline regimes. The count-based round is `O(|E| + n·k)`
+/// versus the per-task engine's `O(m)`, so the gap widens with `m/n`;
+/// the acceptance target is `round/speed-fast` ≥ 100× over
+/// `round/parallel-task-*` at m/n = 1000.
+fn count_engine_benches(c: &mut Criterion) {
     use slb_core::engine::parallel::ParallelSimulation;
-    for (label, tasks_per_node) in [("ring64-mpn100", 100usize), ("ring64-mpn1000", 1000)] {
-        let graph = generators::ring(64);
-        let n = graph.node_count();
-        let m = n * tasks_per_node;
-        let weights: Vec<f64> = (0..m)
-            .map(|t| if t % 2 == 0 { 0.25 } else { 1.0 })
-            .collect();
-        let system = System::new(
-            graph,
-            SpeedVector::integer((0..n as u64).map(|i| 1 + i % 2).collect()).expect("valid"),
-            TaskSet::weighted(weights).expect("weights valid"),
-        )
-        .expect("valid instance");
+    for (label, tasks_per_node) in [
+        ("ring64-mpn10", 10usize),
+        ("ring64-mpn100", 100),
+        ("ring64-mpn1000", 1000),
+    ] {
+        let system = two_class_speed_system(tasks_per_node);
+        let n = system.node_count();
+        let m = system.task_count();
 
         let mut group = c.benchmark_group("round/weighted-fast");
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            let mut per_node = vec![vec![0u64; 2]; n];
-            per_node[0] = vec![m as u64 / 2, m as u64 / 2];
-            let mut sim = WeightedFastSim::new(
-                &system,
-                Alpha::Approximate,
-                ClassCountState::new(vec![0.25, 1.0], per_node),
-                3,
-            );
+            let mut sim =
+                WeightedFastSim::new(&system, Alpha::Approximate, two_class_hot_state(n, m), 3);
             for _ in 0..5 {
                 sim.step();
             }
             b.iter(|| sim.step())
         });
+        group.finish();
+
+        let mut group = c.benchmark_group("round/speed-fast");
+        for (rule, rule_label) in [(SpeedFastRule::Alg2, "alg2"), (SpeedFastRule::Bhs, "bhs")] {
+            group.bench_function(
+                BenchmarkId::from_parameter(format!("{rule_label}-{label}")),
+                |b| {
+                    let mut sim = SpeedFastSim::new(
+                        &system,
+                        rule,
+                        Alpha::Approximate,
+                        two_class_hot_state(n, m),
+                        3,
+                    );
+                    for _ in 0..5 {
+                        sim.step();
+                    }
+                    b.iter(|| sim.step())
+                },
+            );
+        }
         group.finish();
 
         let mut group = c.benchmark_group("round/parallel-task-weighted");
@@ -173,6 +216,24 @@ fn weighted_fast_benches(c: &mut Criterion) {
             let mut sim = ParallelSimulation::with_layout(
                 &system,
                 SelfishWeighted::new(),
+                TaskState::all_on_node(&system, slb_graphs::NodeId(0)),
+                3,
+                4096,
+                1,
+            );
+            for _ in 0..5 {
+                sim.step();
+            }
+            b.iter(|| sim.step())
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group("round/parallel-task-bhs");
+        group.sample_size(20);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut sim = ParallelSimulation::with_layout(
+                &system,
+                BhsBaseline::new(),
                 TaskState::all_on_node(&system, slb_graphs::NodeId(0)),
                 3,
                 4096,
@@ -218,7 +279,7 @@ criterion_group!(
     benches,
     protocol_benches,
     fast_path_benches,
-    weighted_fast_benches,
+    count_engine_benches,
     parallel_engine_benches
 );
 criterion_main!(benches);

@@ -1,0 +1,446 @@
+//! The shared count-based round kernel behind the three fast engines.
+//!
+//! [`uniform_fast`](crate::engine::uniform_fast),
+//! [`weighted_fast`](crate::engine::weighted_fast) and
+//! [`speed_fast`](crate::engine::speed_fast) all simulate the same
+//! synchronous-round structure: every task on node `i` picks a uniform
+//! neighbor `j`, tests a migration condition `ℓ_i − ℓ_j > θ/s_j`, and
+//! migrates with the shared probability `p_ij`
+//! ([`migration_probability`]). The probability never depends on the
+//! task's identity or weight, and the condition depends on the task only
+//! through its weight class — so tasks of equal weight on a node are
+//! exchangeable, and one round collapses to a multinomial per
+//! `(node, weight class)` ([`sample_multinomial`]).
+//!
+//! The protocols differ **only** in the threshold numerator `θ`:
+//! Algorithms 1 and 2 use the weight-independent `θ = 1` (the heaviest
+//! possible task — the paper's §4 design point), while the \[6\] baseline
+//! uses each task's own weight `θ = w`. [`ThresholdRule`] captures exactly
+//! that one number, and the three engines become thin instantiations of
+//! the kernel step:
+//!
+//! | engine | rule | classes |
+//! |---|---|---|
+//! | `UniformFastSim` | [`RelaxedThreshold`] | one (`w = 1`) |
+//! | `WeightedFastSim` | [`RelaxedThreshold`] | `k` |
+//! | `SpeedFastSim` (alg2) | [`RelaxedThreshold`] | `k` |
+//! | `SpeedFastSim` (bhs) | [`OwnWeightThreshold`] | `k` |
+//!
+//! The kernel owns reusable scratch buffers (round-start node weights and
+//! speed-normalized loads, the per-node destination probability row, the
+//! per-class filtered view, the count deltas), so a round performs no
+//! heap allocation; neighbor scans run over the graph's CSR adjacency
+//! slices. Per round the work is `O(|E| + n·k)` plus the sampled counts —
+//! against `O(m)` for the per-task engines.
+//!
+//! Determinism contract: for a class-independent rule the kernel consumes
+//! randomness in exactly the order the pre-kernel engines did (per node,
+//! per class, per passing destination in CSR order), so refactoring the
+//! engines onto the kernel changed no trajectory and no golden artifact.
+
+use crate::engine::sampling::sample_multinomial;
+use crate::engine::uniform_fast::FastRunOutcome;
+use crate::engine::weighted_fast::ClassCountState;
+use crate::equilibrium::Threshold;
+use crate::model::{SpeedVector, System};
+use crate::protocol::migration_probability;
+use rand::rngs::StdRng;
+
+/// The migration-condition threshold of a count-based protocol: on edge
+/// `(i, j)`, a task of class weight `w` has an incentive to migrate iff
+/// `ℓ_i − ℓ_j > threshold(w)/s_j`. The migration *probability* `p_ij` is
+/// protocol-independent ([`migration_probability`]), so this one number
+/// is the entire per-protocol surface of the count kernel.
+pub trait ThresholdRule {
+    /// Whether `θ` depends on the class weight. `false` lets the kernel
+    /// constant-fold away the per-node loosest-threshold scan and the
+    /// per-class destination filtering (every class shares one row).
+    const CLASS_DEPENDENT: bool;
+
+    /// Threshold numerator `θ(w)` for a task of class weight `w`.
+    fn threshold(&self, class_weight: f64) -> f64;
+}
+
+/// The weight-independent threshold of Algorithms 1 and 2: `θ = 1`, the
+/// heaviest possible task (`w ≤ 1`). Every task on a node faces the same
+/// condition — the §4 design point that makes the relaxed equilibrium
+/// absorbing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelaxedThreshold;
+
+impl ThresholdRule for RelaxedThreshold {
+    const CLASS_DEPENDENT: bool = false;
+
+    #[inline]
+    fn threshold(&self, _class_weight: f64) -> f64 {
+        1.0
+    }
+}
+
+/// The own-weight threshold of the \[6\] baseline: `θ = w`, so light
+/// tasks keep migrating long after the relaxed rule has frozen the edge —
+/// which is why \[6\] converges to an *exact* NE and its bounds are
+/// weaker (Table 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OwnWeightThreshold;
+
+impl ThresholdRule for OwnWeightThreshold {
+    const CLASS_DEPENDENT: bool = true;
+
+    #[inline]
+    fn threshold(&self, class_weight: f64) -> f64 {
+        class_weight
+    }
+}
+
+/// Totals of one kernel round.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct StepTotals {
+    /// Tasks that migrated.
+    pub migrations: u64,
+    /// Total weight that migrated.
+    pub migrated_weight: f64,
+}
+
+/// Reusable per-round scratch of the count-based engines. One instance
+/// lives inside each simulator; all buffers are cleared and refilled in
+/// place, so steady-state rounds allocate nothing.
+#[derive(Debug, Default)]
+pub(crate) struct CountKernel {
+    /// Round-start `W_i`.
+    node_weights: Vec<f64>,
+    /// Round-start speed-normalized loads `ℓ_i = W_i/s_i`.
+    loads: Vec<f64>,
+    /// Count deltas of the committing round (node-major, `k` per node).
+    delta: Vec<i64>,
+    /// `θ(w_c)` per class, computed once per round.
+    class_thresholds: Vec<f64>,
+    /// Current node's candidate destinations (CSR neighbor order).
+    dest_nodes: Vec<usize>,
+    /// `q_j = p_ij/deg(i)` per candidate destination.
+    dest_probs: Vec<f64>,
+    /// `s_j` per candidate destination (for per-class conditions).
+    dest_speeds: Vec<f64>,
+    /// Per-class filtered destination view (tighter-threshold classes).
+    class_dest_nodes: Vec<usize>,
+    /// Probabilities of the filtered view.
+    class_dest_probs: Vec<f64>,
+    /// Multinomial output row.
+    moved: Vec<u64>,
+}
+
+impl CountKernel {
+    /// A fresh kernel (buffers grow to steady-state sizes on first use).
+    pub(crate) fn new() -> Self {
+        CountKernel::default()
+    }
+
+    /// Executes one synchronous round over node-major per-class `counts`
+    /// (`counts[node·k + class]` tasks of weight `class_weights[class]`),
+    /// committing all migrations simultaneously against the round-start
+    /// snapshot.
+    pub(crate) fn step<R: ThresholdRule>(
+        &mut self,
+        system: &System,
+        alpha: f64,
+        rule: &R,
+        class_weights: &[f64],
+        counts: &mut [u64],
+        rng: &mut StdRng,
+    ) -> StepTotals {
+        let g = system.graph();
+        let speeds = system.speeds();
+        let k = class_weights.len();
+        let n = g.node_count();
+        debug_assert_eq!(counts.len(), n * k, "node-major counts, k per node");
+
+        // Round-start aggregates, once per round into reused buffers: the
+        // node weights and the speed-normalized loads every probability
+        // below reads.
+        self.node_weights.clear();
+        if k == 1 {
+            // Single-class form as a plain map: the steady-state rounds
+            // of the uniform engine are dominated by this preamble, so it
+            // must vectorize.
+            let w = class_weights[0];
+            self.node_weights
+                .extend(counts.iter().map(|&c| c as f64 * w));
+        } else {
+            self.node_weights.extend(counts.chunks_exact(k).map(|row| {
+                row.iter()
+                    .zip(class_weights)
+                    .map(|(&c, &w)| c as f64 * w)
+                    .sum::<f64>()
+            }));
+        }
+        self.loads.clear();
+        self.loads.extend(
+            self.node_weights
+                .iter()
+                .zip(speeds.as_slice())
+                .map(|(&w, &s)| w / s),
+        );
+        self.delta.clear();
+        self.delta.resize(counts.len(), 0);
+        self.class_thresholds.clear();
+        self.class_thresholds
+            .extend(class_weights.iter().map(|&w| rule.threshold(w)));
+
+        let mut totals = StepTotals::default();
+        for i in g.nodes() {
+            let ii = i.index();
+            if self.node_weights[ii] <= 0.0 {
+                continue;
+            }
+            let deg = g.degree(i);
+            // Single-class fast path: there is no shared destination row
+            // to amortize across classes, so fuse the neighbor scan and
+            // the chained conditional binomials into one pass (the
+            // pre-kernel uniform engine's shape — and the identical
+            // sample sequence, since probability pricing consumes no
+            // randomness).
+            if k == 1 {
+                let thr = self.class_thresholds[0];
+                let mut remaining = counts[ii];
+                let mut rem_prob = 1.0f64;
+                for &j in g.neighbors(i) {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let jj = j.index();
+                    let s_j = speeds.speed(jj);
+                    if self.loads[ii] - self.loads[jj] <= thr / s_j {
+                        continue;
+                    }
+                    let p_ij = migration_probability(
+                        deg,
+                        g.d_max_endpoint(i, j),
+                        self.loads[ii],
+                        self.loads[jj],
+                        speeds.speed(ii),
+                        s_j,
+                        self.node_weights[ii],
+                        alpha,
+                    );
+                    let q = p_ij / deg as f64;
+                    if q <= 0.0 {
+                        continue;
+                    }
+                    let cond = (q / rem_prob).min(1.0);
+                    let moved = crate::engine::sampling::sample_binomial(remaining, cond, rng);
+                    if moved > 0 {
+                        self.delta[ii] -= moved as i64;
+                        self.delta[jj] += moved as i64;
+                        totals.migrations += moved;
+                        totals.migrated_weight += moved as f64 * class_weights[0];
+                        remaining -= moved;
+                    }
+                    rem_prob -= q;
+                }
+                continue;
+            }
+            // The loosest condition any class present on this node can
+            // satisfy gates the (CSR-contiguous) neighbor scan: edges
+            // failing it for every present class never price a
+            // probability. Class-independent rules constant-fold the scan
+            // away (every class shares the one threshold).
+            let min_thr = if R::CLASS_DEPENDENT {
+                let mut min_thr = f64::INFINITY;
+                for c in 0..k {
+                    if counts[ii * k + c] > 0 && self.class_thresholds[c] < min_thr {
+                        min_thr = self.class_thresholds[c];
+                    }
+                }
+                min_thr
+            } else {
+                self.class_thresholds[0]
+            };
+            self.dest_nodes.clear();
+            self.dest_probs.clear();
+            self.dest_speeds.clear();
+            for &j in g.neighbors(i) {
+                let jj = j.index();
+                let s_j = speeds.speed(jj);
+                if self.loads[ii] - self.loads[jj] <= min_thr / s_j {
+                    continue;
+                }
+                let p_ij = migration_probability(
+                    deg,
+                    g.d_max_endpoint(i, j),
+                    self.loads[ii],
+                    self.loads[jj],
+                    speeds.speed(ii),
+                    s_j,
+                    self.node_weights[ii],
+                    alpha,
+                );
+                // Joint destination probability of a single task.
+                let q = p_ij / deg as f64;
+                if q > 0.0 {
+                    self.dest_nodes.push(jj);
+                    self.dest_probs.push(q);
+                    self.dest_speeds.push(s_j);
+                }
+            }
+            if self.dest_nodes.is_empty() {
+                continue;
+            }
+            for c in 0..k {
+                let count = counts[ii * k + c];
+                if count == 0 {
+                    continue;
+                }
+                let thr = self.class_thresholds[c];
+                // Classes at the loosest threshold reuse the shared
+                // destination row as-is — always under a
+                // weight-independent rule; tighter classes filter it.
+                let (nodes, probs): (&[usize], &[f64]) = if !R::CLASS_DEPENDENT || thr == min_thr {
+                    (&self.dest_nodes, &self.dest_probs)
+                } else {
+                    self.class_dest_nodes.clear();
+                    self.class_dest_probs.clear();
+                    for (d, &jj) in self.dest_nodes.iter().enumerate() {
+                        if self.loads[ii] - self.loads[jj] > thr / self.dest_speeds[d] {
+                            self.class_dest_nodes.push(jj);
+                            self.class_dest_probs.push(self.dest_probs[d]);
+                        }
+                    }
+                    (&self.class_dest_nodes, &self.class_dest_probs)
+                };
+                if nodes.is_empty() {
+                    continue;
+                }
+                let moved_total = sample_multinomial(count, probs, &mut self.moved, rng);
+                if moved_total > 0 {
+                    self.delta[ii * k + c] -= moved_total as i64;
+                    for (&jj, &mv) in nodes.iter().zip(&self.moved) {
+                        if mv > 0 {
+                            self.delta[jj * k + c] += mv as i64;
+                        }
+                    }
+                    totals.migrations += moved_total;
+                    totals.migrated_weight += moved_total as f64 * class_weights[c];
+                }
+            }
+        }
+        for (count, &d) in counts.iter_mut().zip(&self.delta) {
+            let updated = *count as i64 + d;
+            debug_assert!(updated >= 0, "negative count after round");
+            *count = updated as u64;
+        }
+        totals
+    }
+}
+
+/// The shared stop-condition run loop of the fast engines: `stop` is
+/// checked before every round (a satisfied initial state costs zero
+/// rounds) and once more at budget exhaustion; every committed round (and
+/// the initial state, with `report = None`) is fed to `observe`.
+pub(crate) fn run_observed_loop<Sim, Rep: Copy>(
+    sim: &mut Sim,
+    max_rounds: u64,
+    met: impl Fn(&mut Sim) -> bool,
+    step: impl Fn(&mut Sim) -> Rep,
+    migrations_of: impl Fn(&Rep) -> u64,
+    mut observe: impl FnMut(&mut Sim, Option<Rep>),
+) -> FastRunOutcome {
+    observe(sim, None);
+    let mut migrations = 0u64;
+    for executed in 0..max_rounds {
+        if met(sim) {
+            return FastRunOutcome {
+                rounds: executed,
+                reached: true,
+                migrations,
+            };
+        }
+        let report = step(sim);
+        observe(sim, Some(report));
+        migrations += migrations_of(&report);
+    }
+    FastRunOutcome {
+        rounds: max_rounds,
+        reached: met(sim),
+        migrations,
+    }
+}
+
+/// Loads, per-node threshold weights, and occupancy for the count-based
+/// equilibrium predicates (shared by `WeightedFastSim` and
+/// `SpeedFastSim`, for the exact, ε, and gap forms alike).
+pub(crate) fn class_equilibrium_inputs(
+    state: &ClassCountState,
+    speeds: &SpeedVector,
+    threshold: Threshold,
+) -> (Vec<f64>, Vec<f64>, Vec<bool>) {
+    let loads = state.loads(speeds);
+    let n = state.nodes();
+    let occupied: Vec<bool> = (0..n).map(|v| state.node_task_count(v) > 0).collect();
+    let thresholds: Vec<f64> = match threshold {
+        Threshold::UnitWeight => vec![1.0; n],
+        Threshold::LightestTask => (0..n)
+            .map(|v| state.min_weight_present(v).unwrap_or(f64::INFINITY))
+            .collect(),
+    };
+    (loads, thresholds, occupied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_rules() {
+        assert_eq!(RelaxedThreshold.threshold(0.25), 1.0);
+        assert_eq!(RelaxedThreshold.threshold(1.0), 1.0);
+        assert_eq!(OwnWeightThreshold.threshold(0.25), 0.25);
+        assert_eq!(OwnWeightThreshold.threshold(1.0), 1.0);
+    }
+
+    #[test]
+    fn run_loop_checks_before_first_round() {
+        // A trivially satisfied stop rule must cost zero rounds and zero
+        // steps.
+        let mut steps = 0u32;
+        let out = run_observed_loop(
+            &mut steps,
+            100,
+            |_| true,
+            |s| {
+                *s += 1;
+                1u64
+            },
+            |&m| m,
+            |_, _| {},
+        );
+        assert_eq!(out.rounds, 0);
+        assert!(out.reached);
+        assert_eq!(out.migrations, 0);
+        assert_eq!(steps, 0);
+    }
+
+    #[test]
+    fn run_loop_exhausts_budget_and_rechecks() {
+        // Never-met stop: the loop runs the full budget, tallies
+        // migrations, and observes the initial state plus every round.
+        let mut observed = Vec::new();
+        let mut steps = 0u32;
+        let out = run_observed_loop(
+            &mut steps,
+            5,
+            |_| false,
+            |s| {
+                *s += 1;
+                2u64
+            },
+            |&m| m,
+            |s, rep| observed.push((*s, rep)),
+        );
+        assert_eq!(out.rounds, 5);
+        assert!(!out.reached);
+        assert_eq!(out.migrations, 10);
+        assert_eq!(observed.len(), 6);
+        assert_eq!(observed[0], (0, None));
+        assert_eq!(observed[5], (5, Some(2)));
+    }
+}

@@ -1,5 +1,5 @@
 //! Simulation engines: sequential, deterministic-parallel, and the fast
-//! count-based path for uniform tasks.
+//! count-based paths.
 //!
 //! [`Simulation`] drives any [`Protocol`] round by round over a
 //! [`TaskState`], with stop conditions matching the quantities the paper's
@@ -7,16 +7,21 @@
 //! [`ParallelSimulation`](parallel::ParallelSimulation) executes the
 //! decision phase of [`TaskProtocol`](crate::protocol::TaskProtocol)s
 //! across threads deterministically;
-//! [`uniform_fast`] replaces per-task sampling with per-node multinomial
-//! sampling for uniform tasks — distributionally identical and `O(n·Δ)`
-//! per round instead of `O(m)` — and [`weighted_fast`] generalizes that
-//! count-based path to weighted tasks and heterogeneous speeds via
-//! per-(node, weight class) multinomials. Both share the binomial sampler
-//! of [`sampling`].
+//! The three **count-based engines** replace `O(m)` per-task sampling
+//! with per-(node, weight class) multinomials — distributionally
+//! identical and `O(|E| + n·k)` per round: [`uniform_fast`] (Algorithm 1,
+//! uniform tasks), [`weighted_fast`] (Algorithm 1's weighted
+//! generalization), and [`speed_fast`] (Algorithm 2 and the \[6\]
+//! baseline on arbitrary speed vectors). All three are thin
+//! instantiations of the shared round kernel in [`kernel`] — the
+//! per-protocol surface is one threshold rule — over the samplers of
+//! [`sampling`].
 
+pub mod kernel;
 pub mod parallel;
 pub mod recorder;
 pub mod sampling;
+pub mod speed_fast;
 pub mod uniform_fast;
 pub mod weighted_fast;
 

@@ -1,11 +1,12 @@
 //! Distribution sampling without external distribution crates.
 //!
-//! Both count-based engines ([`uniform_fast`](crate::engine::uniform_fast)
-//! and [`weighted_fast`](crate::engine::weighted_fast)) replace per-task
-//! Bernoulli draws with per-(node, class) multinomials, sampled as chained
-//! conditional binomials. This module holds the one binomial sampler they
-//! share: an exact inverse-transform CDF walk for small means, switching to
-//! a clamped rounded-normal approximation above
+//! All three count-based engines ([`uniform_fast`](crate::engine::uniform_fast),
+//! [`weighted_fast`](crate::engine::weighted_fast), and
+//! [`speed_fast`](crate::engine::speed_fast)) replace per-task Bernoulli
+//! draws with per-(node, class) multinomials, sampled by
+//! [`sample_multinomial`] as chained conditional binomials over the one
+//! binomial sampler they share: an exact inverse-transform CDF walk for
+//! small means, switching to a clamped rounded-normal approximation above
 //! [`NORMAL_APPROX_THRESHOLD`] (documented substitution — at those counts
 //! the relative error is far below the run-to-run variance of the
 //! protocols themselves; see DESIGN.md).
@@ -97,6 +98,57 @@ pub fn sample_binomial(n: u64, p: f64, rng: &mut StdRng) -> u64 {
     binomial_inverse_cdf(n, p, u)
 }
 
+/// Samples a multinomial over `probs` (success probabilities of one draw,
+/// with an implicit "stay" remainder `1 − Σprobs`) for `count` independent
+/// draws, via chained conditional binomials: given that a draw missed every
+/// earlier destination, it hits destination `d` with probability
+/// `probs[d] / (1 − Σ_{e<d} probs[e])`.
+///
+/// `out` is overwritten with one count per destination (resized to
+/// `probs.len()`); the return value is the total across destinations. The
+/// chain stops early once every draw is spent, so trailing destinations
+/// cost nothing. Destinations with `probs[d] ≤ 0` consume no randomness
+/// (the conditional binomial short-circuits to 0 inside
+/// [`sample_binomial`] without touching the RNG) — callers that filter
+/// zero-probability destinations before the call draw the identical
+/// sample sequence.
+///
+/// The per-destination draws inherit [`sample_binomial`]'s guarantees,
+/// including the pmf-underflow cap of [`binomial_inverse_cdf`]: no
+/// destination can receive a count beyond `mean + 10σ` of its conditional
+/// binomial unless the exact walk is still accumulating real mass.
+///
+/// # Panics
+///
+/// Debug-asserts that `Σprobs ≤ 1` (within floating-point slack); the
+/// conditional probabilities are clamped to 1, so release builds degrade
+/// gracefully on marginal rounding excess.
+pub fn sample_multinomial(count: u64, probs: &[f64], out: &mut Vec<u64>, rng: &mut StdRng) -> u64 {
+    debug_assert!(
+        probs.iter().sum::<f64>() <= 1.0 + 1e-9,
+        "multinomial probabilities exceed 1"
+    );
+    out.clear();
+    out.resize(probs.len(), 0);
+    let mut remaining = count;
+    let mut rem_prob = 1.0f64;
+    let mut total = 0u64;
+    for (slot, &q) in out.iter_mut().zip(probs) {
+        if remaining == 0 {
+            break;
+        }
+        let cond = (q / rem_prob).min(1.0);
+        let moved = sample_binomial(remaining, cond, rng);
+        if moved > 0 {
+            *slot = moved;
+            total += moved;
+            remaining -= moved;
+        }
+        rem_prob -= q;
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +212,82 @@ mod tests {
         let p0 = 0.9f64.powi(10);
         assert_eq!(binomial_inverse_cdf(10, 0.1, p0 * 0.5), 0);
         assert_eq!(binomial_inverse_cdf(40, 0.5, 0.5), 20);
+    }
+
+    #[test]
+    fn multinomial_conserves_and_matches_marginals() {
+        // Destination d's marginal is Binomial(count, probs[d]); check the
+        // empirical means and that totals never exceed the draw count.
+        let probs = [0.1f64, 0.05, 0.2];
+        let count = 40u64;
+        let trials = 20_000;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut out = Vec::new();
+        let mut sums = [0u64; 3];
+        for _ in 0..trials {
+            let total = sample_multinomial(count, &probs, &mut out, &mut rng);
+            assert_eq!(out.len(), 3);
+            assert_eq!(out.iter().sum::<u64>(), total);
+            assert!(total <= count);
+            for (s, &o) in sums.iter_mut().zip(&out) {
+                *s += o;
+            }
+        }
+        for (d, &p) in probs.iter().enumerate() {
+            let mean = sums[d] as f64 / trials as f64;
+            let expected = count as f64 * p;
+            let sd = (count as f64 * p * (1.0 - p) / trials as f64).sqrt();
+            assert!(
+                (mean - expected).abs() < 6.0 * sd,
+                "destination {d}: mean {mean} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn multinomial_zero_probability_destinations_consume_no_randomness() {
+        // Interleaving q = 0 destinations must not change the sample
+        // stream: the conditional binomial short-circuits before the RNG.
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        for _ in 0..50 {
+            sample_multinomial(30, &[0.1, 0.2], &mut out_a, &mut a);
+            sample_multinomial(30, &[0.0, 0.1, 0.0, 0.2, 0.0], &mut out_b, &mut b);
+            assert_eq!(out_a[0], out_b[1]);
+            assert_eq!(out_a[1], out_b[3]);
+            assert_eq!(out_b[0] + out_b[2] + out_b[4], 0);
+        }
+    }
+
+    #[test]
+    fn multinomial_underflow_cap_regression() {
+        // The multinomial chain inherits the binomial walk's pmf-underflow
+        // guard: Binomial(10⁷, 5·10⁻⁶) per destination is exactly the
+        // regime where the unguarded walk returned k = n (10⁷ tasks to one
+        // neighbor). Every per-destination count must respect the far-tail
+        // cap of its own conditional binomial, deterministically across
+        // seeds.
+        let (count, q) = (10_000_000u64, 5e-6);
+        let probs = [q, q, q];
+        let mut out = Vec::new();
+        for seed in 0..500 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let total = sample_multinomial(count, &probs, &mut out, &mut rng);
+            for (d, &moved) in out.iter().enumerate() {
+                // The conditional p grows slightly along the chain; bound
+                // every destination by the loosest (largest-p) cap.
+                let p = (q / (1.0 - 2.0 * q)).min(0.5);
+                let mean = count as f64 * p;
+                let cap = (mean + 10.0 * (count as f64 * p * (1.0 - p)).sqrt()).ceil() as u64 + 1;
+                assert!(
+                    moved <= cap,
+                    "seed {seed} destination {d}: {moved} escaped the cap {cap}"
+                );
+            }
+            assert!(total <= 3 * ((count as f64 * q).ceil() as u64 * 2 + 200));
+        }
     }
 
     #[test]

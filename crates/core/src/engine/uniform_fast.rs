@@ -11,18 +11,21 @@
 //! sampled counts, a large constant-factor win for the Table 1 sweeps where
 //! `m/n` is large.
 //!
-//! The binomial sampler ([`crate::engine::sampling`], shared with the
-//! weight-class engine) is exact (inverse-transform CDF walk) up to a mean
-//! of [`NORMAL_APPROX_THRESHOLD`], beyond which a clamped normal
+//! The round itself is executed by the shared count kernel
+//! ([`crate::engine::kernel`]) as its one-class instantiation under the
+//! weight-independent threshold rule. The binomial sampler
+//! ([`crate::engine::sampling`], shared with the weight-class engines) is
+//! exact (inverse-transform CDF walk) up to a mean of
+//! [`NORMAL_APPROX_THRESHOLD`], beyond which a clamped normal
 //! approximation takes over; at those counts the relative error is far
 //! below the run-to-run variance of the protocol itself (documented
 //! substitution — see DESIGN.md).
 
-use crate::engine::sampling::sample_binomial;
+use crate::engine::kernel::{self, CountKernel, RelaxedThreshold};
 use crate::equilibrium;
 use crate::model::{SpeedVector, System};
 use crate::potential;
-use crate::protocol::{migration_probability, Alpha};
+use crate::protocol::Alpha;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -60,6 +63,11 @@ impl CountState {
     /// The per-node counts.
     pub fn counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Mutable node-major view for the count kernel (one class per node).
+    pub(crate) fn counts_mut(&mut self) -> &mut [u64] {
+        &mut self.counts
     }
 
     /// Total number of tasks.
@@ -119,7 +127,10 @@ pub enum UniformFastStop {
     EpsNash(f64),
 }
 
-/// Count-based simulator of **Algorithm 1** (uniform tasks).
+/// Count-based simulator of **Algorithm 1** (uniform tasks): the
+/// single-class instantiation of the shared
+/// [`CountKernel`](crate::engine::kernel) under the weight-independent
+/// [`RelaxedThreshold`] rule.
 #[derive(Debug)]
 pub struct UniformFastSim<'a> {
     system: &'a System,
@@ -127,11 +138,16 @@ pub struct UniformFastSim<'a> {
     state: CountState,
     rng: StdRng,
     round: u64,
+    /// The shared count kernel (reusable round scratch).
+    kernel: CountKernel,
     /// Cached all-ones per-node threshold weights (uniform tasks), so the
     /// ε-Nash predicates — evaluated before every round when used as a
     /// stop rule — do not re-allocate a constant vector each call.
     unit_thresholds: Vec<f64>,
 }
+
+/// The one weight class of the uniform engine (`w = 1`).
+const UNIT_CLASS: [f64; 1] = [1.0];
 
 impl<'a> UniformFastSim<'a> {
     /// Creates the simulator.
@@ -162,6 +178,7 @@ impl<'a> UniformFastSim<'a> {
             state,
             rng: StdRng::seed_from_u64(seed),
             round: 0,
+            kernel: CountKernel::new(),
             unit_thresholds: vec![1.0; nodes],
         }
     }
@@ -178,63 +195,16 @@ impl<'a> UniformFastSim<'a> {
 
     /// Executes one round; returns the number of migrations.
     pub fn step(&mut self) -> u64 {
-        let g = self.system.graph();
-        let speeds = self.system.speeds();
-        let loads = self.state.loads(speeds);
-        let counts = self.state.counts.clone();
-        let mut delta = vec![0i64; counts.len()];
-        let mut migrations = 0u64;
-
-        for i in g.nodes() {
-            let c = counts[i.index()];
-            if c == 0 {
-                continue;
-            }
-            let deg = g.degree(i);
-            let mut remaining = c;
-            let mut rem_prob = 1.0f64;
-            for &j in g.neighbors(i) {
-                if remaining == 0 {
-                    break;
-                }
-                let s_j = speeds.speed(j.index());
-                if loads[i.index()] - loads[j.index()] <= 1.0 / s_j {
-                    continue;
-                }
-                let p_ij = migration_probability(
-                    deg,
-                    g.d_max_endpoint(i, j),
-                    loads[i.index()],
-                    loads[j.index()],
-                    speeds.speed(i.index()),
-                    s_j,
-                    counts[i.index()] as f64,
-                    self.alpha,
-                );
-                // Joint destination probability for a single task.
-                let q = p_ij / deg as f64;
-                if q <= 0.0 {
-                    continue;
-                }
-                // Conditional binomial given earlier destinations missed.
-                let cond = (q / rem_prob).min(1.0);
-                let k = sample_binomial(remaining, cond, &mut self.rng);
-                if k > 0 {
-                    delta[i.index()] -= k as i64;
-                    delta[j.index()] += k as i64;
-                    migrations += k;
-                    remaining -= k;
-                }
-                rem_prob -= q;
-            }
-        }
-        for (c, d) in self.state.counts.iter_mut().zip(delta) {
-            let updated = *c as i64 + d;
-            debug_assert!(updated >= 0, "negative count after round");
-            *c = updated as u64;
-        }
+        let totals = self.kernel.step(
+            self.system,
+            self.alpha,
+            &RelaxedThreshold,
+            &UNIT_CLASS,
+            self.state.counts_mut(),
+            &mut self.rng,
+        );
         self.round += 1;
-        migrations
+        totals.migrations
     }
 
     /// `Ψ₀` of the current state.
@@ -302,30 +272,18 @@ impl<'a> UniformFastSim<'a> {
         max_rounds: u64,
         observer: &mut O,
     ) -> FastRunOutcome {
-        observer.observe(self.round, self.system, &self.state, None);
-        let met = |sim: &Self| match stop {
-            UniformFastStop::Psi0Below(bound) => sim.psi0() <= bound,
-            UniformFastStop::Nash => sim.is_nash(),
-            UniformFastStop::EpsNash(eps) => sim.is_eps_nash(eps),
-        };
-        let mut migrations = 0u64;
-        for executed in 0..max_rounds {
-            if met(self) {
-                return FastRunOutcome {
-                    rounds: executed,
-                    reached: true,
-                    migrations,
-                };
-            }
-            let moved = self.step();
-            observer.observe(self.round, self.system, &self.state, Some(moved));
-            migrations += moved;
-        }
-        FastRunOutcome {
-            rounds: max_rounds,
-            reached: met(self),
-            migrations,
-        }
+        kernel::run_observed_loop(
+            self,
+            max_rounds,
+            |sim| match stop {
+                UniformFastStop::Psi0Below(bound) => sim.psi0() <= bound,
+                UniformFastStop::Nash => sim.is_nash(),
+                UniformFastStop::EpsNash(eps) => sim.is_eps_nash(eps),
+            },
+            Self::step,
+            |&moved| moved,
+            |sim, moved| observer.observe(sim.round, sim.system, &sim.state, moved),
+        )
     }
 
     /// Runs until `Ψ₀ ≤ bound` or the budget runs out.

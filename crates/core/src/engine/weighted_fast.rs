@@ -5,7 +5,8 @@
 //! not depend on its own weight* — is exactly an exchangeability
 //! statement: every task on node `i` faces the same threshold
 //! `ℓ_i − ℓ_j > 1/s_j` and the same migration probability `p_ij`
-//! ([`migration_probability`], the Definition-4.1-consistent rule of
+//! ([`migration_probability`](crate::protocol::migration_probability),
+//! the Definition-4.1-consistent rule of
 //! [`crate::protocol::SelfishWeighted`]). Tasks of equal weight on the
 //! same node are therefore interchangeable, and a round is fully described
 //! by, for every (node, weight class), how many of its tasks move to each
@@ -23,13 +24,19 @@
 //! (`slb_workloads::weight_classes`) — the documented approximation for
 //! this engine, alongside the shared normal-approximation substitution of
 //! the binomial sampler.
+//!
+//! The round itself is executed by the shared count kernel
+//! ([`crate::engine::kernel`]) under the weight-independent
+//! [`RelaxedThreshold`] rule;
+//! [`SpeedFastSim`](crate::engine::speed_fast::SpeedFastSim) runs the
+//! same kernel for Algorithm 2 and the \[6\] baseline.
 
-use crate::engine::sampling::sample_binomial;
+use crate::engine::kernel::{self, CountKernel, RelaxedThreshold};
 use crate::engine::uniform_fast::FastRunOutcome;
 use crate::equilibrium::{self, Threshold};
 use crate::model::{SpeedVector, System};
 use crate::potential;
-use crate::protocol::{migration_probability, Alpha};
+use crate::protocol::Alpha;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -93,6 +100,12 @@ impl ClassCountState {
     pub fn counts(&self, node: usize) -> &[u64] {
         let k = self.classes();
         &self.counts[node * k..(node + 1) * k]
+    }
+
+    /// Split borrow for the count kernel: the class weights alongside the
+    /// mutable node-major counts.
+    pub(crate) fn kernel_view(&mut self) -> (&[f64], &mut [u64]) {
+        (&self.class_weights, &mut self.counts)
     }
 
     /// Tasks hosted on one node (all classes).
@@ -202,8 +215,8 @@ pub struct WeightedFastSim<'a> {
     state: ClassCountState,
     rng: StdRng,
     round: u64,
-    /// Scratch: migrating destinations `(node index, q_j)` of one node.
-    destinations: Vec<(usize, f64)>,
+    /// The shared count kernel (reusable round scratch).
+    kernel: CountKernel,
 }
 
 impl<'a> WeightedFastSim<'a> {
@@ -230,7 +243,7 @@ impl<'a> WeightedFastSim<'a> {
             state,
             rng: StdRng::seed_from_u64(seed),
             round: 0,
-            destinations: Vec::new(),
+            kernel: CountKernel::new(),
         }
     }
 
@@ -244,92 +257,22 @@ impl<'a> WeightedFastSim<'a> {
         self.round
     }
 
-    /// Executes one round.
+    /// Executes one round (one step of the shared count kernel under the
+    /// weight-independent §4 rule).
     pub fn step(&mut self) -> WeightedStepReport {
-        let g = self.system.graph();
-        let speeds = self.system.speeds();
-        let node_weights = self.state.node_weights();
-        let loads: Vec<f64> = node_weights
-            .iter()
-            .zip(speeds.as_slice())
-            .map(|(&w, &s)| w / s)
-            .collect();
-        let k = self.state.classes();
-        let mut delta = vec![0i64; self.state.counts.len()];
-        let mut migrations = 0u64;
-        let mut migrated_weight = 0.0f64;
-
-        for i in g.nodes() {
-            let ii = i.index();
-            if node_weights[ii] <= 0.0 {
-                continue;
-            }
-            let deg = g.degree(i);
-            // The §4 rule is weight-independent, so the per-destination
-            // probabilities q_j = p_ij/deg(i) are shared by every class on
-            // the node: compute them once.
-            self.destinations.clear();
-            for &j in g.neighbors(i) {
-                let jj = j.index();
-                let s_j = speeds.speed(jj);
-                if loads[ii] - loads[jj] <= 1.0 / s_j {
-                    continue;
-                }
-                let p_ij = migration_probability(
-                    deg,
-                    g.d_max_endpoint(i, j),
-                    loads[ii],
-                    loads[jj],
-                    speeds.speed(ii),
-                    s_j,
-                    node_weights[ii],
-                    self.alpha,
-                );
-                let q = p_ij / deg as f64;
-                if q > 0.0 {
-                    self.destinations.push((jj, q));
-                }
-            }
-            if self.destinations.is_empty() {
-                continue;
-            }
-            for c in 0..k {
-                let count = self.state.counts[ii * k + c];
-                if count == 0 {
-                    continue;
-                }
-                let w_c = self.state.class_weights[c];
-                // Chained conditional binomials over the shared q vector:
-                // given earlier destinations missed, the next one hits
-                // with probability q/rem_prob.
-                let mut remaining = count;
-                let mut rem_prob = 1.0f64;
-                for &(jj, q) in &self.destinations {
-                    if remaining == 0 {
-                        break;
-                    }
-                    let cond = (q / rem_prob).min(1.0);
-                    let moved = sample_binomial(remaining, cond, &mut self.rng);
-                    if moved > 0 {
-                        delta[ii * k + c] -= moved as i64;
-                        delta[jj * k + c] += moved as i64;
-                        migrations += moved;
-                        migrated_weight += moved as f64 * w_c;
-                        remaining -= moved;
-                    }
-                    rem_prob -= q;
-                }
-            }
-        }
-        for (count, d) in self.state.counts.iter_mut().zip(delta) {
-            let updated = *count as i64 + d;
-            debug_assert!(updated >= 0, "negative count after round");
-            *count = updated as u64;
-        }
+        let (class_weights, counts) = self.state.kernel_view();
+        let totals = self.kernel.step(
+            self.system,
+            self.alpha,
+            &RelaxedThreshold,
+            class_weights,
+            counts,
+            &mut self.rng,
+        );
         self.round += 1;
         WeightedStepReport {
-            migrations,
-            migrated_weight,
+            migrations: totals.migrations,
+            migrated_weight: totals.migrated_weight,
         }
     }
 
@@ -387,17 +330,7 @@ impl<'a> WeightedFastSim<'a> {
     /// Loads, per-node threshold weights and occupancy for the equilibrium
     /// predicates (shared by the exact, ε and gap forms).
     fn equilibrium_inputs(&self, threshold: Threshold) -> (Vec<f64>, Vec<f64>, Vec<bool>) {
-        let speeds = self.system.speeds();
-        let loads = self.state.loads(speeds);
-        let n = self.state.nodes();
-        let occupied: Vec<bool> = (0..n).map(|v| self.state.node_task_count(v) > 0).collect();
-        let thresholds: Vec<f64> = match threshold {
-            Threshold::UnitWeight => vec![1.0; n],
-            Threshold::LightestTask => (0..n)
-                .map(|v| self.state.min_weight_present(v).unwrap_or(f64::INFINITY))
-                .collect(),
-        };
-        (loads, thresholds, occupied)
+        kernel::class_equilibrium_inputs(&self.state, self.system.speeds(), threshold)
     }
 
     /// Runs until `stop` holds (checked before every round, so a satisfied
@@ -409,30 +342,18 @@ impl<'a> WeightedFastSim<'a> {
         max_rounds: u64,
         observer: &mut O,
     ) -> FastRunOutcome {
-        observer.observe(self.round, self.system, &self.state, None);
-        let met = |sim: &Self| match stop {
-            WeightedFastStop::Psi0Below(bound) => sim.psi0() <= bound,
-            WeightedFastStop::Nash(threshold) => sim.is_nash(threshold),
-            WeightedFastStop::EpsNash(threshold, eps) => sim.is_eps_nash(threshold, eps),
-        };
-        let mut migrations = 0u64;
-        for executed in 0..max_rounds {
-            if met(self) {
-                return FastRunOutcome {
-                    rounds: executed,
-                    reached: true,
-                    migrations,
-                };
-            }
-            let report = self.step();
-            observer.observe(self.round, self.system, &self.state, Some(report));
-            migrations += report.migrations;
-        }
-        FastRunOutcome {
-            rounds: max_rounds,
-            reached: met(self),
-            migrations,
-        }
+        kernel::run_observed_loop(
+            self,
+            max_rounds,
+            |sim| match stop {
+                WeightedFastStop::Psi0Below(bound) => sim.psi0() <= bound,
+                WeightedFastStop::Nash(threshold) => sim.is_nash(threshold),
+                WeightedFastStop::EpsNash(threshold, eps) => sim.is_eps_nash(threshold, eps),
+            },
+            Self::step,
+            |report| report.migrations,
+            |sim, report| observer.observe(sim.round, sim.system, &sim.state, report),
+        )
     }
 
     /// Runs until `Ψ₀ ≤ bound` or the budget runs out.

@@ -5,6 +5,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use slb_core::engine::parallel::{ParallelSimulation, DEFAULT_CHUNK_SIZE};
+use slb_core::engine::speed_fast::{SpeedFastRule, SpeedFastSim};
 use slb_core::engine::uniform_fast::{CountState, UniformFastSim};
 use slb_core::engine::weighted_fast::{ClassCountState, WeightedFastSim};
 use slb_core::engine::{Simulation, StopCondition, StopReason};
@@ -271,18 +272,26 @@ fn weighted_fast_and_parallel_task_migration_distributions_agree() {
         })
         .collect();
 
-    // Width-2 bins over the shared range; under-filled bins (< 5 combined
-    // observations) merge into their successor to keep the two-sample
-    // homogeneity statistic Σ (a_i − b_i)²/(a_i + b_i) well-behaved.
-    let max_seen = fast.iter().chain(&task).copied().max().unwrap();
+    assert_distributions_agree(&fast, &task, "weighted");
+}
+
+/// Two-sample χ²-style homogeneity check shared by the fast-vs-per-task
+/// equivalence tests: width-2 bins over the shared range, under-filled
+/// bins (< 5 combined observations) merged into their successor to keep
+/// the statistic Σ (a_i − b_i)²/(a_i + b_i) well-behaved, and a 3·dof
+/// ceiling — χ²(dof) has mean dof and std dev √(2·dof), so 3·dof is a
+/// ≫ 5σ bound: a real mismatch (shifted mean, wrong variance) fails while
+/// seed noise passes.
+fn assert_distributions_agree(fast: &[u64], task: &[u64], label: &str) {
+    let max_seen = fast.iter().chain(task).copied().max().unwrap();
     let width = 2u64;
     let bins = (max_seen / width + 1) as usize;
     let mut a = vec![0f64; bins];
     let mut b = vec![0f64; bins];
-    for &x in &fast {
+    for &x in fast {
         a[(x / width) as usize] += 1.0;
     }
-    for &x in &task {
+    for &x in task {
         b[(x / width) as usize] += 1.0;
     }
     let mut chi2 = 0.0;
@@ -302,16 +311,83 @@ fn weighted_fast_and_parallel_task_migration_distributions_agree() {
         chi2 += (acc_a - acc_b) * (acc_a - acc_b) / (acc_a + acc_b);
         dof += 1;
     }
-    assert!(dof >= 3, "degenerate binning: {dof} bins");
-    // χ²(dof) has mean dof, std dev √(2·dof); 3·dof is a ≫ 5σ ceiling —
-    // a real mismatch (shifted mean, wrong variance) fails, seed noise
-    // passes.
+    assert!(dof >= 3, "{label}: degenerate binning: {dof} bins");
     let ceiling = 3.0 * dof as f64;
     assert!(
         chi2 < ceiling,
-        "χ² = {chi2:.1} over {dof} bins exceeds {ceiling:.1}: weighted engines disagree in \
+        "{label}: χ² = {chi2:.1} over {dof} bins exceeds {ceiling:.1}: engines disagree in \
          distribution"
     );
+}
+
+/// Distributional equivalence of the speed-aware count engine against the
+/// per-task reference on a **non-uniform speed vector**: for both of its
+/// rules (Algorithm 2's relaxed threshold and the \[6\] own-weight
+/// threshold), the round-1 migration count distribution of
+/// [`SpeedFastSim`] must match the per-task [`ParallelSimulation`] bin by
+/// bin — the same χ²-style statistic as the weighted-engine test. This is
+/// the test that keeps the sweep/validate dispatch honest now that no
+/// alg2/bhs cell runs per-task.
+#[test]
+fn speed_fast_and_parallel_task_migration_distributions_agree() {
+    let n = 4;
+    let m = 400usize;
+    // Exact 2-class weights on speeds (1, 3, 1, 3): lossless class
+    // mapping, real speed asymmetry in both the thresholds and p_ij.
+    let weights: Vec<f64> = (0..m)
+        .map(|t| if t % 2 == 0 { 0.25 } else { 1.0 })
+        .collect();
+    let system = System::new(
+        generators::ring(n),
+        SpeedVector::integer(vec![1, 3, 1, 3]).unwrap(),
+        TaskSet::weighted(weights).unwrap(),
+    )
+    .unwrap();
+    let trials = 600u64;
+
+    let fast_run = |rule: SpeedFastRule, seed: u64| {
+        let mut per_node = vec![vec![0u64; 2]; n];
+        per_node[0] = vec![200, 200];
+        let state = ClassCountState::new(vec![0.25, 1.0], per_node);
+        let mut sim = SpeedFastSim::new(&system, rule, Alpha::Approximate, state, seed);
+        sim.step().migrations
+    };
+    let fast_alg2: Vec<u64> = (0..trials)
+        .map(|seed| fast_run(SpeedFastRule::Alg2, seed))
+        .collect();
+    let fast_bhs: Vec<u64> = (0..trials)
+        .map(|seed| fast_run(SpeedFastRule::Bhs, 100_000 + seed))
+        .collect();
+
+    let task_alg2: Vec<u64> = (0..trials)
+        .map(|seed| {
+            let mut sim = ParallelSimulation::with_layout(
+                &system,
+                SelfishWeighted::new(),
+                TaskState::all_on_node(&system, NodeId(0)),
+                0xfeed_0000 + seed,
+                DEFAULT_CHUNK_SIZE,
+                1,
+            );
+            sim.step().migrations as u64
+        })
+        .collect();
+    let task_bhs: Vec<u64> = (0..trials)
+        .map(|seed| {
+            let mut sim = ParallelSimulation::with_layout(
+                &system,
+                BhsBaseline::new(),
+                TaskState::all_on_node(&system, NodeId(0)),
+                0xbeef_0000 + seed,
+                DEFAULT_CHUNK_SIZE,
+                1,
+            );
+            sim.step().migrations as u64
+        })
+        .collect();
+
+    assert_distributions_agree(&fast_alg2, &task_alg2, "alg2 × speeds");
+    assert_distributions_agree(&fast_bhs, &task_bhs, "bhs × speeds");
 }
 
 #[test]

@@ -39,9 +39,15 @@ pub enum ProtocolKind {
     /// the paper's weighted generalization of the same dynamics (the
     /// Definition-4.1 rule) on the count-based weight-class engine.
     Alg1,
-    /// Algorithm 2 (`selfish-weighted`).
+    /// Algorithm 2 (`selfish-weighted`); runs count-based on the
+    /// speed-aware weight-class engine (`SpeedFastSim`) in both task
+    /// modes — the weight-independent §4 rule makes equal-weight tasks
+    /// exchangeable under any speed vector.
     Alg2,
-    /// The \[6\] baseline (`bhs-baseline`).
+    /// The \[6\] baseline (`bhs-baseline`); runs count-based on
+    /// `SpeedFastSim` with the per-task own-weight threshold applied per
+    /// weight class (quantized thresholds for continuous weight
+    /// distributions — the engine's documented approximation).
     Bhs,
     /// Deterministic discrete diffusion.
     Diffusion,

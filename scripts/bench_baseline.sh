@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Bench-trajectory bootstrap: drives `cargo bench` over the round
+# micro-benchmarks and records per-engine round throughput at
+# m/n ∈ {10, 100, 1000} as BENCH_baseline.json — the recorded baseline
+# future perf PRs diff against (CI uploads it as a workflow artifact).
+#
+# Also enforces the speed-fast acceptance floor: the count-based
+# speed-aware engine must stay ≥ MIN_SPEEDUP× (default 100×) faster than
+# the per-task engine per round at m/n = 1000, per protocol rule.
+#
+# Usage: scripts/bench_baseline.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_baseline.json}"
+mkdir -p "$(dirname "$out")"
+min_speedup="${MIN_SPEEDUP:-100}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running cargo bench --bench protocol_rounds ..." >&2
+cargo bench --bench protocol_rounds 2>/dev/null | tee "$raw" >&2
+
+rustc_version="$(rustc --version)"
+generated_at="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+awk -v out="$out" -v rustc_version="$rustc_version" -v generated_at="$generated_at" \
+    -v min_speedup="$min_speedup" '
+function to_ns(v, u) {
+    if (u == "ns") return v
+    if (u == "\302\265s") return v * 1e3   # µs
+    if (u == "ms") return v * 1e6
+    if (u == "s")  return v * 1e9
+    return -1
+}
+$1 ~ /^round\// {
+    # Shim format: LABEL best V U | median V U | mean V U (N samples)
+    median = -1
+    for (i = 1; i <= NF; i++) {
+        if ($i == "median") median = to_ns($(i + 1), $(i + 2))
+    }
+    if (median <= 0) next
+    # The baseline records the m/n ladder ids only.
+    if ($1 !~ /mpn(10|100|1000)$/) next
+    n_parts = split($1, parts, "/")
+    engine = parts[2]
+    id = parts[n_parts]
+    mpn = id
+    sub(/^.*mpn/, "", mpn)
+    entries[++count] = sprintf(\
+        "    {\"engine\": \"%s\", \"id\": \"%s\", \"mpn\": %s, " \
+        "\"median_ns_per_round\": %.1f, \"rounds_per_sec\": %.0f}",
+        engine, id, mpn, median, 1e9 / median)
+    ns[engine "/" id] = median
+}
+END {
+    if (count == 0) {
+        print "error: no round/*mpn* benchmark lines parsed" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"schema\": \"slb-bench-baseline/v1\",\n" >> out
+    printf "  \"generated_by\": \"scripts/bench_baseline.sh\",\n" >> out
+    printf "  \"generated_at\": \"%s\",\n", generated_at >> out
+    printf "  \"toolchain\": \"%s\",\n", rustc_version >> out
+    printf "  \"scenario\": \"2-class ring:64, alternating speeds 1/2 (uniform-fast: unit tasks)\",\n" >> out
+    printf "  \"entries\": [\n" >> out
+    for (i = 1; i <= count; i++)
+        printf "%s%s\n", entries[i], (i < count ? "," : "") >> out
+    printf "  ]\n}\n" >> out
+
+    # Acceptance floor: speed-fast vs the per-task engine at m/n = 1000.
+    # A missing key is itself an error — if a bench group or id is ever
+    # renamed, the gate must fail loudly rather than silently stop
+    # checking.
+    status = 0
+    n_pairs = split("alg2:parallel-task-weighted bhs:parallel-task-bhs", pairs, " ")
+    for (p = 1; p <= n_pairs; p++) {
+        split(pairs[p], pair, ":")
+        fast_key = "speed-fast/" pair[1] "-ring64-mpn1000"
+        task_key = pair[2] "/ring64-mpn1000"
+        if (!(fast_key in ns) || !(task_key in ns)) {
+            printf "error: bench ids %s / %s not found — was a benchmark renamed?\n", \
+                fast_key, task_key > "/dev/stderr"
+            status = 1
+            continue
+        }
+        r = ns[task_key] / ns[fast_key]
+        printf "speedup %-5s (speed-fast vs per-task, m/n=1000): %.0fx\n", \
+            pair[1], r > "/dev/stderr"
+        if (r < min_speedup) status = 1
+    }
+    if (status != 0) {
+        printf "error: speed-fast acceptance gate failed (floor: %sx)\n", min_speedup > "/dev/stderr"
+        exit status
+    }
+}' "$raw"
+
+echo "wrote $out" >&2

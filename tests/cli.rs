@@ -230,6 +230,15 @@ fn golden_sweep_covers_all_protocols_and_task_modes() {
     // Algorithm 1 on weighted tasks executes on the weight-class engine —
     // no zeroed `unsupported` rows remain anywhere in the grid.
     assert_eq!(golden.matches(",unsupported,").count(), 0);
+    // The speed-aware protocols run count-based in both task modes: no
+    // alg2/bhs cell falls back to the per-task engine.
+    assert_eq!(golden.matches(",parallel-chunked,").count(), 0);
+    for line in golden
+        .lines()
+        .filter(|l| l.contains(",alg2,") || l.contains(",bhs,"))
+    {
+        assert!(line.contains(",speed-fast,"), "row: {line}");
+    }
     let alg1_weighted = golden
         .lines()
         .find(|l| l.contains(",alg1,") && l.contains(",uniform:0.2..0.9,"))
