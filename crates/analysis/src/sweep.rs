@@ -380,7 +380,15 @@ pub(crate) fn class_state_of(built: &slb_workloads::BuiltScenario) -> ClassCount
 /// Executes one trial of one cell. The trial seed is split into a
 /// scenario stream (speeds/weights/placement sampling) and a simulation
 /// stream, so engine choice and scenario construction cannot alias.
-fn run_trial(cell: &CellSpec, engine: EngineKind, trial_seed: u64, max_rounds: u64) -> RawTrial {
+/// `shard_threads` caps the *within-round* worker fan-out of the
+/// count-based engines (their sharded kernel); it never changes results.
+fn run_trial(
+    cell: &CellSpec,
+    engine: EngineKind,
+    trial_seed: u64,
+    max_rounds: u64,
+    shard_threads: usize,
+) -> RawTrial {
     let scenario_seed = derive_seed(trial_seed, 0, 0);
     let sim_seed = derive_seed(trial_seed, 0, 1);
     let graph = cell.graph.build();
@@ -410,12 +418,14 @@ fn run_trial(cell: &CellSpec, engine: EngineKind, trial_seed: u64, max_rounds: u
                 Alpha::Approximate,
                 CountState::new(counts),
                 sim_seed,
-            );
+            )
+            .with_threads(shard_threads);
             drive(&mut FastEngine(sim), cell.stop, max_rounds)
         }
         EngineKind::WeightedFast => {
             let sim =
-                WeightedFastSim::new(system, Alpha::Approximate, class_state_of(&built), sim_seed);
+                WeightedFastSim::new(system, Alpha::Approximate, class_state_of(&built), sim_seed)
+                    .with_threads(shard_threads);
             drive(
                 &mut WeightClassEngine { sim, threshold },
                 cell.stop,
@@ -434,7 +444,8 @@ fn run_trial(cell: &CellSpec, engine: EngineKind, trial_seed: u64, max_rounds: u
                 Alpha::Approximate,
                 class_state_of(&built),
                 sim_seed,
-            );
+            )
+            .with_threads(shard_threads);
             drive(
                 &mut SpeedClassEngine { sim, threshold },
                 cell.stop,
@@ -481,6 +492,12 @@ pub fn run_sweep(spec: &SweepSpec, config: SweepConfig) -> Result<SweepOutcome, 
     validate(spec)?;
     let cells = spec.cells();
     let keys: Vec<u64> = (0..cells.len() as u64).collect();
+    // One thread budget covers both parallelism levels: trial workers get
+    // the whole budget; whatever cannot be used across `(cell, trial)`
+    // work items flows down into each trial's sharded rounds. Results
+    // depend on neither knob.
+    let work_items = cells.len() * spec.trials;
+    let shard_threads = (config.threads / work_items.max(1)).max(1);
     let trials = run_cell_trials(
         &keys,
         spec.trials,
@@ -488,7 +505,13 @@ pub fn run_sweep(spec: &SweepSpec, config: SweepConfig) -> Result<SweepOutcome, 
         config.threads,
         |pos, _trial, seed| {
             let cell = &cells[pos];
-            run_trial(cell, EngineKind::for_cell(cell), seed, spec.max_rounds)
+            run_trial(
+                cell,
+                EngineKind::for_cell(cell),
+                seed,
+                spec.max_rounds,
+                shard_threads,
+            )
         },
     );
 

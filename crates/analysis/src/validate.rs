@@ -270,8 +270,16 @@ fn instance_of_system(system: &System, family: slb_graphs::generators::Family) -
     }
 }
 
-/// Executes one trial of one ladder point.
-fn run_trial(row: &RowSpec, spec: &ValidateSpec, n: usize, trial_seed: u64) -> RawTrial {
+/// Executes one trial of one ladder point. `shard_threads` caps the
+/// *within-round* worker fan-out of the count-based engines (their
+/// sharded kernel); it never changes results.
+fn run_trial(
+    row: &RowSpec,
+    spec: &ValidateSpec,
+    n: usize,
+    trial_seed: u64,
+    shard_threads: usize,
+) -> RawTrial {
     let scenario_seed = derive_seed(trial_seed, 0, 0);
     let sim_seed = derive_seed(trial_seed, 0, 1);
     let family = row.family.resolve(n).expect("validated rows resolve");
@@ -317,7 +325,8 @@ fn run_trial(row: &RowSpec, spec: &ValidateSpec, n: usize, trial_seed: u64) -> R
                 Alpha::Approximate,
                 CountState::new(counts),
                 sim_seed,
-            );
+            )
+            .with_threads(shard_threads);
             let stop = match row.regime {
                 Regime::Approx => UniformFastStop::Psi0Below(psi_bound),
                 Regime::Eps => UniformFastStop::EpsNash(spec.eps),
@@ -328,7 +337,8 @@ fn run_trial(row: &RowSpec, spec: &ValidateSpec, n: usize, trial_seed: u64) -> R
         }
         ProtocolKind::Alg1 => {
             let mut sim =
-                WeightedFastSim::new(system, Alpha::Approximate, class_state_of(&built), sim_seed);
+                WeightedFastSim::new(system, Alpha::Approximate, class_state_of(&built), sim_seed)
+                    .with_threads(shard_threads);
             let stop = match row.regime {
                 Regime::Approx => WeightedFastStop::Psi0Below(psi_bound),
                 Regime::Eps => WeightedFastStop::EpsNash(threshold, spec.eps),
@@ -354,7 +364,8 @@ fn run_trial(row: &RowSpec, spec: &ValidateSpec, n: usize, trial_seed: u64) -> R
                 Alpha::Approximate,
                 class_state_of(&built),
                 sim_seed,
-            );
+            )
+            .with_threads(shard_threads);
             let stop = match row.regime {
                 Regime::Approx => WeightedFastStop::Psi0Below(psi_bound),
                 Regime::Eps => WeightedFastStop::EpsNash(threshold, spec.eps),
@@ -522,6 +533,12 @@ pub fn run_validate(
     let rows = spec.rows();
     let points_per_row = spec.sizes.len();
     let keys: Vec<u64> = (0..(rows.len() * points_per_row) as u64).collect();
+    // One thread budget covers both parallelism levels: trial workers get
+    // the whole budget; whatever cannot be used across `(row, point,
+    // trial)` work items flows down into each trial's sharded rounds.
+    // Results depend on neither knob.
+    let work_items = keys.len() * spec.trials;
+    let shard_threads = (config.threads / work_items.max(1)).max(1);
     let trials = crate::runner::run_cell_trials(
         &keys,
         spec.trials,
@@ -530,7 +547,7 @@ pub fn run_validate(
         |pos, _trial, seed| {
             let row = &rows[pos / points_per_row];
             let n = spec.sizes[pos % points_per_row];
-            run_trial(row, spec, n, seed)
+            run_trial(row, spec, n, seed, shard_threads)
         },
     );
 

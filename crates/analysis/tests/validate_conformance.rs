@@ -13,10 +13,13 @@
 //! multinomial per node and weight class instead of `O(m)` per-task
 //! work per round).
 //!
-//! A deeper ladder (one more size doubling, both regimes — Theorem 1.2's
-//! exact column included — and the alg2/bhs speed-aware rows) is
-//! `#[ignore]`-gated for the slow profile:
-//! `cargo test -p slb_analysis --test validate_conformance -- --ignored`.
+//! The deeper ladders (one more size doubling, both regimes — Theorem
+//! 1.2's exact column included — and the alg2/bhs speed-aware rows) used
+//! to be `#[ignore]`-gated for a manual slow profile. With the sharded
+//! round kernel and the optimized dev builds of the numeric crates
+//! (`profile.dev.package.*` in the workspace root) they finish in
+//! seconds, so they now run un-gated in plain `cargo test -q` — as does
+//! the alg1 hypercube ladder, which reaches n = 4096.
 
 use slb_analysis::validate::{run_validate, RowResult, ValidateConfig};
 use slb_workloads::{Regime, ValidateSpec};
@@ -116,7 +119,6 @@ fn alg2_weighted_ring_and_complete_exponents_bracket_table1() {
 }
 
 #[test]
-#[ignore = "slow profile: one more ladder doubling and the exact regime (~minutes)"]
 fn alg1_deep_ladder_conformance_including_exact() {
     let spec = ValidateSpec::parse(&[
         "family=ring,complete",
@@ -141,40 +143,94 @@ fn alg1_deep_ladder_conformance_including_exact() {
     }
 }
 
+/// Algorithm 1 two orders of magnitude past the old ladders: hypercubes
+/// of n = 256, 1024, 4096 nodes at a fixed per-node load. With m/n fixed
+/// the Table 1 approximate bound reduces to `Θ(log n · log(m/n))`, so
+/// the fitted hitting-time exponent must be *tiny* — this is the ladder
+/// that tells a polylog family apart from a polynomial one, and it is
+/// only tractable because the count engine pays `O(|E| + n)` per round.
+#[test]
+fn alg1_hypercube_ladder_reaches_4096_nodes() {
+    let spec = ValidateSpec::parse(&[
+        "family=hypercube",
+        "n=256..4096:x4",
+        "load=16",
+        "protocol=alg1",
+        "regime=approx",
+        "trials=3",
+        "max-rounds=200000",
+    ])
+    .unwrap();
+    let out = run_validate(&spec, ValidateConfig::parallel(42)).unwrap();
+    assert_eq!(out.rows.len(), 1);
+    let row = &out.rows[0];
+    assert!(!row.censored(), "hypercube ladder censored");
+    assert_brackets_within_tolerance(row, spec.exp_tol);
+    assert!(row.conforms());
+    // Polylog, not polynomial: even with the tolerance the fitted
+    // exponent must sit far below the slowest polynomial family (n¹).
+    assert!(
+        row.fit.ci_hi + spec.exp_tol < 1.0,
+        "hypercube exponent CI [{:.3}, {:.3}] is not polylog-small",
+        row.fit.ci_lo,
+        row.fit.ci_hi,
+    );
+    assert_eq!(row.points.last().unwrap().n, 4096);
+}
+
 /// The speed-aware protocols on the deep ladder (`n` up to 64, `m` up to
 /// 2²² tasks): unreachable on the per-task engines, routine on
 /// `SpeedFastSim`. alg2 rows bracket the Table 1 approximate column
 /// (Thm 1.3 bound shape); bhs rows check the exact regime's one-sided
 /// consistency with the \[6\] column — Theorem 1.2's exact-NE territory.
+///
+/// The approximate regime runs the full ladder to n = 64. The exact
+/// regime stops one doubling earlier: alg2's exact-NE absorption time in
+/// the `delta:2` regime grows with `m = 16n³`, and the n = 64 point
+/// alone costs ~2 CPU-minutes while refining nothing the n ≤ 32 fit has
+/// not already pinned — that single point is why this ladder was
+/// `#[ignore]`-gated before.
 #[test]
-#[ignore = "slow profile: the deep speed-aware ladders (~minutes)"]
 fn speed_aware_deep_ladder_conformance() {
-    let spec = ValidateSpec::parse(&[
+    let approx = ValidateSpec::parse(&[
         "family=ring,complete",
         "n=8..64:x2",
         "load=delta:2",
         "protocol=alg2,bhs",
         "weights=bimodal:0.25:1:0.5",
-        "regime=approx,exact",
+        "regime=approx",
         "trials=3",
         "max-rounds=2000000",
     ])
     .unwrap();
-    let out = run_validate(&spec, ValidateConfig::parallel(0xA11CE)).unwrap();
-    assert_eq!(out.rows.len(), 8);
-    for row in &out.rows {
-        match (row.spec.protocol.grid_label(), row.spec.regime) {
-            ("alg2", Regime::Approx) => {
-                assert!(!row.censored(), "alg2 approx censored");
-                assert_brackets_within_tolerance(row, spec.exp_tol);
+    let exact = ValidateSpec::parse(&[
+        "family=ring,complete",
+        "n=8..32:x2",
+        "load=delta:2",
+        "protocol=alg2,bhs",
+        "weights=bimodal:0.25:1:0.5",
+        "regime=exact",
+        "trials=3",
+        "max-rounds=2000000",
+    ])
+    .unwrap();
+    for (spec, rows_expected) in [(&approx, 4), (&exact, 4)] {
+        let out = run_validate(spec, ValidateConfig::parallel(0xA11CE)).unwrap();
+        assert_eq!(out.rows.len(), rows_expected);
+        for row in &out.rows {
+            match (row.spec.protocol.grid_label(), row.spec.regime) {
+                ("alg2", Regime::Approx) => {
+                    assert!(!row.censored(), "alg2 approx censored");
+                    assert_brackets_within_tolerance(row, spec.exp_tol);
+                }
+                // Remaining rows: the one-sided consistency check against
+                // the (loose) Table 1 column must pass wherever a
+                // prediction exists and no trial was censored.
+                _ if !row.censored() && row.predicted_shape.is_some() => {
+                    assert_eq!(row.exponent_ok, Some(true));
+                }
+                _ => {}
             }
-            // Remaining rows: the one-sided consistency check against
-            // the (loose) Table 1 column must pass wherever a prediction
-            // exists and no trial was censored.
-            _ if !row.censored() && row.predicted_shape.is_some() => {
-                assert_eq!(row.exponent_ok, Some(true));
-            }
-            _ => {}
         }
     }
 }

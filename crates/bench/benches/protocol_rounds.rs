@@ -248,6 +248,135 @@ fn count_engine_benches(c: &mut Criterion) {
     }
 }
 
+/// Alternating hot/cold counts: every node has an imbalanced neighbor,
+/// so a measured round keeps doing real threshold checks *and* real
+/// sampling work even after the initial transient levels out (random
+/// fluctuations of order √load keep adjacent gaps above the threshold).
+fn alternating_counts(n: usize, per_hot: u64) -> Vec<u64> {
+    (0..n)
+        .map(|v| if v % 2 == 0 { per_hot } else { 0 })
+        .collect()
+}
+
+/// The tentpole scaling ladder: one sharded round per engine at
+/// n ∈ {2¹⁰, 2¹⁶, 2²⁰}. At n = 2²⁰ the uniform instance carries
+/// m ≈ 10⁸ tasks (the ISSUE acceptance target: well under a second per
+/// round), measured on ring, torus, and hypercube (the expander family),
+/// plus an 8-worker variant of the ring.
+/// `scripts/bench_baseline.sh` parses the `-n<size>` ids into the
+/// committed BENCH snapshots, so the naming is load-bearing.
+fn scale_benches(c: &mut Criterion) {
+    let per_hot = 190u64; // ≈ 10⁸ tasks at n = 2²⁰
+
+    let mut group = c.benchmark_group("round/uniform-fast-scale");
+    group.sample_size(10);
+    let mut cases: Vec<(String, slb_graphs::Graph)> = vec![
+        ("ring-n1024".into(), generators::ring(1 << 10)),
+        ("ring-n65536".into(), generators::ring(1 << 16)),
+        ("ring-n1048576".into(), generators::ring(1 << 20)),
+        ("torus-n1048576".into(), generators::torus(1 << 10, 1 << 10)),
+        ("hypercube-n1048576".into(), generators::hypercube(20)),
+    ];
+    for (label, graph) in cases.drain(..) {
+        let n = graph.node_count();
+        let counts = alternating_counts(n, per_hot);
+        let m: u64 = counts.iter().sum();
+        let system = System::new(graph, SpeedVector::uniform(n), TaskSet::uniform(m as usize))
+            .expect("valid instance");
+        for threads in if n == 1 << 20 && label.starts_with("ring") {
+            vec![1usize, 8]
+        } else {
+            vec![1usize]
+        } {
+            let id = if threads == 1 {
+                label.clone()
+            } else {
+                format!("{label}-t{threads}")
+            };
+            group.bench_function(BenchmarkId::from_parameter(id), |b| {
+                let mut sim = UniformFastSim::new(
+                    &system,
+                    Alpha::Approximate,
+                    CountState::new(counts.clone()),
+                    3,
+                )
+                .with_threads(threads);
+                for _ in 0..3 {
+                    sim.step();
+                }
+                b.iter(|| sim.step())
+            });
+        }
+    }
+    group.finish();
+
+    // The 2-class engines on the same ladder: counts split evenly across
+    // the two classes, alternating speeds 1/2 for the speed-aware rules.
+    let two_class_state = |n: usize| {
+        let per_node: Vec<Vec<u64>> = (0..n)
+            .map(|v| {
+                if v % 2 == 0 {
+                    vec![per_hot / 2, per_hot / 2]
+                } else {
+                    vec![0, 0]
+                }
+            })
+            .collect();
+        ClassCountState::new(vec![0.25, 1.0], per_node)
+    };
+    let two_class_system = |n: usize| {
+        let m = (n as u64 / 2) * per_hot;
+        // The count engines read class weights from `ClassCountState`, not
+        // from the task set (only the total count is cross-checked), so a
+        // uniform carrier avoids materializing 10⁸ per-task weights.
+        System::new(
+            generators::ring(n),
+            SpeedVector::integer((0..n as u64).map(|i| 1 + i % 2).collect()).expect("valid"),
+            TaskSet::uniform(m as usize),
+        )
+        .expect("valid instance")
+    };
+
+    let sizes = [1usize << 10, 1 << 16, 1 << 20];
+
+    let mut group = c.benchmark_group("round/weighted-fast-scale");
+    group.sample_size(10);
+    for n in sizes {
+        let system = two_class_system(n);
+        group.bench_function(BenchmarkId::from_parameter(format!("ring-n{n}")), |b| {
+            let mut sim = WeightedFastSim::new(&system, Alpha::Approximate, two_class_state(n), 3);
+            for _ in 0..3 {
+                sim.step();
+            }
+            b.iter(|| sim.step())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("round/speed-fast-scale");
+    group.sample_size(10);
+    for n in sizes {
+        let system = two_class_system(n);
+        for (rule, rule_label) in [(SpeedFastRule::Alg2, "alg2"), (SpeedFastRule::Bhs, "bhs")] {
+            if rule == SpeedFastRule::Bhs && n < 1 << 20 {
+                continue; // bhs scales identically; record the top size only
+            }
+            group.bench_function(
+                BenchmarkId::from_parameter(format!("{rule_label}-ring-n{n}")),
+                |b| {
+                    let mut sim =
+                        SpeedFastSim::new(&system, rule, Alpha::Approximate, two_class_state(n), 3);
+                    for _ in 0..3 {
+                        sim.step();
+                    }
+                    b.iter(|| sim.step())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn parallel_engine_benches(c: &mut Criterion) {
     use slb_core::engine::parallel::ParallelSimulation;
     let system = uniform_system(generators::torus(16, 16), 200); // m = 51200
@@ -280,6 +409,7 @@ criterion_group!(
     protocol_benches,
     fast_path_benches,
     count_engine_benches,
+    scale_benches,
     parallel_engine_benches
 );
 criterion_main!(benches);

@@ -37,8 +37,6 @@ use crate::equilibrium::{self, Threshold};
 use crate::model::System;
 use crate::potential;
 use crate::protocol::Alpha;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Which speed-aware per-task protocol the engine simulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,7 +98,11 @@ pub struct SpeedFastSim<'a> {
     rule: SpeedFastRule,
     alpha: f64,
     state: ClassCountState,
-    rng: StdRng,
+    /// Master seed; each round's shards derive their streams from
+    /// `(seed, round, shard)`, so the trajectory is thread-invariant.
+    seed: u64,
+    /// Worker cap for the sharded round (result-invariant).
+    threads: usize,
     round: u64,
     /// The shared count kernel (reusable round scratch).
     kernel: CountKernel,
@@ -135,10 +137,19 @@ impl<'a> SpeedFastSim<'a> {
             rule,
             alpha: alpha.resolve(system.speeds()),
             state,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            threads: 1,
             round: 0,
             kernel: CountKernel::new(),
         }
+    }
+
+    /// Caps the worker fan-out of the sharded round. The trajectory is
+    /// identical at any value (shard streams depend only on
+    /// `(seed, round, shard)`); only wall-clock changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The current counts.
@@ -167,7 +178,9 @@ impl<'a> SpeedFastSim<'a> {
                 &RelaxedThreshold,
                 class_weights,
                 counts,
-                &mut self.rng,
+                self.seed,
+                self.round,
+                self.threads,
             ),
             SpeedFastRule::Bhs => self.kernel.step(
                 self.system,
@@ -175,7 +188,9 @@ impl<'a> SpeedFastSim<'a> {
                 &OwnWeightThreshold,
                 class_weights,
                 counts,
-                &mut self.rng,
+                self.seed,
+                self.round,
+                self.threads,
             ),
         };
         self.round += 1;
@@ -284,6 +299,8 @@ impl<'a> SpeedFastSim<'a> {
 mod tests {
     use super::*;
     use crate::model::{SpeedVector, TaskSet, TaskState};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use slb_graphs::generators;
 
     /// A 2-class system: `m` tasks alternating between weights 0.25 and 1,

@@ -26,8 +26,6 @@ use crate::equilibrium;
 use crate::model::{SpeedVector, System};
 use crate::potential;
 use crate::protocol::Alpha;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 pub use crate::engine::sampling::NORMAL_APPROX_THRESHOLD;
 
@@ -136,7 +134,11 @@ pub struct UniformFastSim<'a> {
     system: &'a System,
     alpha: f64,
     state: CountState,
-    rng: StdRng,
+    /// Master seed; each round's shards derive their streams from
+    /// `(seed, round, shard)`, so the trajectory is thread-invariant.
+    seed: u64,
+    /// Worker cap for the sharded round (result-invariant).
+    threads: usize,
     round: u64,
     /// The shared count kernel (reusable round scratch).
     kernel: CountKernel,
@@ -176,11 +178,20 @@ impl<'a> UniformFastSim<'a> {
             system,
             alpha: alpha.resolve(system.speeds()),
             state,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            threads: 1,
             round: 0,
             kernel: CountKernel::new(),
             unit_thresholds: vec![1.0; nodes],
         }
+    }
+
+    /// Caps the worker fan-out of the sharded round. The trajectory is
+    /// identical at any value (shard streams depend only on
+    /// `(seed, round, shard)`); only wall-clock changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The current counts.
@@ -201,7 +212,9 @@ impl<'a> UniformFastSim<'a> {
             &RelaxedThreshold,
             &UNIT_CLASS,
             self.state.counts_mut(),
-            &mut self.rng,
+            self.seed,
+            self.round,
+            self.threads,
         );
         self.round += 1;
         totals.migrations
@@ -301,6 +314,8 @@ impl<'a> UniformFastSim<'a> {
 mod tests {
     use super::*;
     use crate::model::TaskSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use slb_graphs::generators;
 
     fn sys(n_graph: slb_graphs::Graph, m: usize) -> System {

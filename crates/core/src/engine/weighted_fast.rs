@@ -37,8 +37,6 @@ use crate::equilibrium::{self, Threshold};
 use crate::model::{SpeedVector, System};
 use crate::potential;
 use crate::protocol::Alpha;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// The count-based state of the weight-class engine:
 /// `counts[node][class]` tasks of weight `class_weights[class]`.
@@ -213,7 +211,11 @@ pub struct WeightedFastSim<'a> {
     system: &'a System,
     alpha: f64,
     state: ClassCountState,
-    rng: StdRng,
+    /// Master seed; each round's shards derive their streams from
+    /// `(seed, round, shard)`, so the trajectory is thread-invariant.
+    seed: u64,
+    /// Worker cap for the sharded round (result-invariant).
+    threads: usize,
     round: u64,
     /// The shared count kernel (reusable round scratch).
     kernel: CountKernel,
@@ -241,10 +243,19 @@ impl<'a> WeightedFastSim<'a> {
             system,
             alpha: alpha.resolve(system.speeds()),
             state,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            threads: 1,
             round: 0,
             kernel: CountKernel::new(),
         }
+    }
+
+    /// Caps the worker fan-out of the sharded round. The trajectory is
+    /// identical at any value (shard streams depend only on
+    /// `(seed, round, shard)`); only wall-clock changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The current counts.
@@ -267,7 +278,9 @@ impl<'a> WeightedFastSim<'a> {
             &RelaxedThreshold,
             class_weights,
             counts,
-            &mut self.rng,
+            self.seed,
+            self.round,
+            self.threads,
         );
         self.round += 1;
         WeightedStepReport {
@@ -372,6 +385,8 @@ impl<'a> WeightedFastSim<'a> {
 mod tests {
     use super::*;
     use crate::model::TaskSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use slb_graphs::generators;
 
     /// A 2-class system: `m` tasks alternating between weights 0.25 and 1.

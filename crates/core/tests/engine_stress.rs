@@ -4,6 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use slb_core::engine::kernel::{shard_range, ROUND_SHARDS};
 use slb_core::engine::parallel::{ParallelSimulation, DEFAULT_CHUNK_SIZE};
 use slb_core::engine::speed_fast::{SpeedFastRule, SpeedFastSim};
 use slb_core::engine::uniform_fast::{CountState, UniformFastSim};
@@ -254,7 +255,11 @@ fn weighted_fast_and_parallel_task_migration_distributions_agree() {
             let mut per_node = vec![vec![0u64; 2]; n];
             per_node[0] = vec![200, 200];
             let state = ClassCountState::new(vec![0.25, 1.0], per_node);
-            let mut sim = WeightedFastSim::new(&system, Alpha::Approximate, state, seed);
+            // Run the fast side with the sharded round fanned across 8
+            // workers: the χ² check then certifies the threaded schedule,
+            // and thread-invariance extends it to every other count.
+            let mut sim =
+                WeightedFastSim::new(&system, Alpha::Approximate, state, seed).with_threads(8);
             sim.step().migrations
         })
         .collect();
@@ -349,7 +354,9 @@ fn speed_fast_and_parallel_task_migration_distributions_agree() {
         let mut per_node = vec![vec![0u64; 2]; n];
         per_node[0] = vec![200, 200];
         let state = ClassCountState::new(vec![0.25, 1.0], per_node);
-        let mut sim = SpeedFastSim::new(&system, rule, Alpha::Approximate, state, seed);
+        // Sharded rounds across 8 workers (see the weighted test above).
+        let mut sim =
+            SpeedFastSim::new(&system, rule, Alpha::Approximate, state, seed).with_threads(8);
         sim.step().migrations
     };
     let fast_alg2: Vec<u64> = (0..trials)
@@ -499,6 +506,212 @@ fn quiescent_stop_does_not_false_trigger_mid_balancing() {
     // adjacent load gaps within 2 of the threshold.
     let gap = equilibrium::nash_gap(&system, sim.state(), Threshold::UnitWeight);
     assert!(gap < 0.05, "quiesced far from equilibrium (gap {gap})");
+}
+
+/// Distributional equivalence of the **sharded** Algorithm 1 round against
+/// the per-task reference on non-uniform speeds: the count kernel prices
+/// every (node, class) row against speed-scaled loads, so this is the
+/// test that certifies the shard decomposition did not bend the migration
+/// distribution where the thresholds actually bite. Same χ²-style
+/// statistic as the weighted/speed tests; the fast side runs with 8
+/// workers so the threaded schedule itself is under test.
+#[test]
+fn uniform_fast_sharded_and_task_engine_distributions_agree() {
+    let n = 4;
+    let m = 400u64;
+    let system = System::new(
+        generators::ring(n),
+        SpeedVector::integer(vec![1, 3, 1, 3]).unwrap(),
+        TaskSet::uniform(m as usize),
+    )
+    .unwrap();
+    let trials = 600u64;
+
+    let fast: Vec<u64> = (0..trials)
+        .map(|seed| {
+            let mut sim = UniformFastSim::new(
+                &system,
+                Alpha::Approximate,
+                CountState::all_on_node(n, 0, m),
+                seed,
+            )
+            .with_threads(8);
+            sim.step()
+        })
+        .collect();
+    let task: Vec<u64> = (0..trials)
+        .map(|seed| {
+            let mut sim = ParallelSimulation::with_layout(
+                &system,
+                SelfishUniform::new(),
+                TaskState::all_on_node(&system, NodeId(0)),
+                0xfeed_0000 + seed,
+                DEFAULT_CHUNK_SIZE,
+                1,
+            );
+            sim.step().migrations as u64
+        })
+        .collect();
+
+    assert_distributions_agree(&fast, &task, "alg1 × speeds");
+}
+
+/// The sharded round is a pure function of `(seed, round)` — the worker
+/// count must never change a single count, for any of the three fast
+/// engines. This is the in-crate half of the byte-identity contract the
+/// CLI golden tests pin end-to-end.
+#[test]
+fn sharded_rounds_are_byte_identical_at_any_thread_count() {
+    let n = 256;
+    let m = 256 * 40u64;
+    let speeds: Vec<u64> = (0..n as u64).map(|i| 1 + i % 3).collect();
+    let uniform_system = System::new(
+        generators::ring(n),
+        SpeedVector::uniform(n),
+        TaskSet::uniform(m as usize),
+    )
+    .unwrap();
+    let speed_system = System::new(
+        generators::ring(n),
+        SpeedVector::integer(speeds).unwrap(),
+        TaskSet::weighted(
+            (0..m)
+                .map(|t| if t % 2 == 0 { 0.25 } else { 1.0 })
+                .collect(),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+
+    let run_uniform = |threads: usize| {
+        let mut sim = UniformFastSim::new(
+            &uniform_system,
+            Alpha::Approximate,
+            CountState::all_on_node(n, 0, m),
+            29,
+        )
+        .with_threads(threads);
+        let moved: u64 = (0..10).map(|_| sim.step()).sum();
+        (moved, sim.state().counts().to_vec())
+    };
+    let run_speed = |rule: SpeedFastRule, threads: usize| {
+        let mut per_node = vec![vec![0u64; 2]; n];
+        per_node[0] = vec![m / 2, m / 2];
+        let state = ClassCountState::new(vec![0.25, 1.0], per_node);
+        let mut sim = SpeedFastSim::new(&speed_system, rule, Alpha::Approximate, state, 31)
+            .with_threads(threads);
+        let moved: u64 = (0..10).map(|_| sim.step().migrations).sum();
+        (moved, sim.state().clone())
+    };
+    let run_weighted = |threads: usize| {
+        let mut per_node = vec![vec![0u64; 2]; n];
+        per_node[0] = vec![m / 2, m / 2];
+        let state = ClassCountState::new(vec![0.25, 1.0], per_node);
+        let mut sim = WeightedFastSim::new(&speed_system, Alpha::Approximate, state, 37)
+            .with_threads(threads);
+        let moved: u64 = (0..10).map(|_| sim.step().migrations).sum();
+        (moved, sim.state().clone())
+    };
+
+    assert_eq!(run_uniform(1), run_uniform(8));
+    assert_eq!(run_uniform(8), run_uniform(64));
+    assert_eq!(run_weighted(1), run_weighted(8));
+    assert_eq!(run_weighted(8), run_weighted(64));
+    for rule in [SpeedFastRule::Alg2, SpeedFastRule::Bhs] {
+        assert_eq!(run_speed(rule, 1), run_speed(rule, 8));
+        assert_eq!(run_speed(rule, 8), run_speed(rule, 64));
+    }
+}
+
+/// The tentpole stress target: one sharded round at n = 2²⁰ nodes and
+/// m ≈ 10⁸ tasks. Asserts (a) byte-identical results at 1, 8, and 64
+/// worker threads, (b) exact global task conservation, and (c) per-shard
+/// conservation — on a ring, tasks can only enter or leave a shard across
+/// its two boundary edges, so no shard's total may drift by more than the
+/// boundary nodes could carry.
+#[test]
+fn million_node_single_round_conserves_tasks_per_shard() {
+    let n = 1usize << 20;
+    let per_hot = 190u64;
+    // Alternating hot/cold so every node has an imbalanced neighbor and
+    // the whole round does real sampling work.
+    let counts: Vec<u64> = (0..n)
+        .map(|v| if v % 2 == 0 { per_hot } else { 0 })
+        .collect();
+    let m: u64 = counts.iter().sum();
+    assert!(m > 99_000_000, "m = {m} is not ~10⁸");
+    let system = System::new(
+        generators::ring(n),
+        SpeedVector::uniform(n),
+        TaskSet::uniform(m as usize),
+    )
+    .unwrap();
+
+    let run = |threads: usize| {
+        let mut sim = UniformFastSim::new(
+            &system,
+            Alpha::Approximate,
+            CountState::new(counts.clone()),
+            23,
+        )
+        .with_threads(threads);
+        let moved = sim.step();
+        (moved, sim.state().counts().to_vec())
+    };
+    let (moved1, after1) = run(1);
+    let (moved8, after8) = run(8);
+    assert_eq!(moved1, moved8, "migration total differs at 1 vs 8 threads");
+    assert_eq!(after1, after8, "counts differ at 1 vs 8 threads");
+    let (moved64, after64) = run(64);
+    assert_eq!(moved8, moved64);
+    assert_eq!(after8, after64);
+
+    assert_eq!(after1.iter().sum::<u64>(), m, "global task conservation");
+    assert!(moved1 > 0, "a maximally imbalanced round must migrate");
+    for shard in 0..ROUND_SHARDS {
+        let range = shard_range(shard, n);
+        let before: u64 = counts[range.clone()].iter().sum();
+        let after: u64 = after1[range.clone()].iter().sum();
+        // Each shard boundary is one ring edge; the flow across it is
+        // bounded by what the two endpoint nodes held (≤ per_hot each).
+        let drift = before.abs_diff(after);
+        assert!(
+            drift <= 2 * per_hot,
+            "shard {shard} ({range:?}) drifted by {drift} tasks — more than its \
+             boundary edges could carry"
+        );
+    }
+}
+
+/// Regression for the chained-binomial underflow cap *through the sharded
+/// kernel*: two huge nearly-balanced nodes give a migration probability
+/// of ~10⁻⁹ on a ~5·10⁷ count, i.e. a small mean where the pmf underflows
+/// and only the mean+10σ cap keeps the inverse-CDF walk from scanning
+/// tens of millions of support points. Before the cap (PR 3) this
+/// configuration hung; now it must finish instantly and conserve.
+#[test]
+fn kernel_huge_count_tiny_probability_stays_capped() {
+    let a = 50_000_032u64;
+    let b = 50_000_000u64;
+    let system = System::new(
+        generators::path(2),
+        SpeedVector::uniform(2),
+        TaskSet::uniform((a + b) as usize),
+    )
+    .unwrap();
+    let mut sim = UniformFastSim::new(&system, Alpha::Approximate, CountState::new(vec![a, b]), 3)
+        .with_threads(8);
+    let mut moved_total = 0u64;
+    for _ in 0..5 {
+        moved_total += sim.step();
+    }
+    assert_eq!(sim.state().total(), a + b);
+    // The per-round mean is ≈ α·gap/2, so five rounds stay far under the
+    // gap itself; anything large means the sampler escaped its cap.
+    assert!(
+        moved_total <= 1_000,
+        "moved {moved_total} tasks across a gap of 32 — sampler escaped the underflow cap"
+    );
 }
 
 #[test]

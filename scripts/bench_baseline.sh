@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # Bench-trajectory bootstrap: drives `cargo bench` over the round
-# micro-benchmarks and records per-engine round throughput at
-# m/n ∈ {10, 100, 1000} as BENCH_baseline.json — the recorded baseline
-# future perf PRs diff against (CI uploads it as a workflow artifact).
+# micro-benchmarks and records per-engine round throughput as a BENCH
+# snapshot JSON — both the m/n ∈ {10, 100, 1000} engine-comparison ids
+# and the sharded-round scaling ladder at n ∈ {2¹⁰, 2¹⁶, 2²⁰}
+# (`*-scale` groups, `-n<size>` ids). Committed snapshots (BENCH_*.json)
+# form the perf trajectory future PRs diff against.
 #
-# Also enforces the speed-fast acceptance floor: the count-based
-# speed-aware engine must stay ≥ MIN_SPEEDUP× (default 100×) faster than
-# the per-task engine per round at m/n = 1000, per protocol rule.
+# Gates (both fail the script loudly):
+#   1. speed-fast acceptance floor — the count-based speed-aware engine
+#      must stay ≥ MIN_SPEEDUP× (default 100×) faster than the per-task
+#      engine per round at m/n = 1000, per protocol rule.
+#   2. regression diff — every (engine, id) shared with the newest
+#      committed BENCH_*.json must not be more than MAX_REGRESSION_PCT
+#      (default 20) percent slower than that snapshot.
 #
 # Usage: scripts/bench_baseline.sh [output.json]
 set -euo pipefail
@@ -15,6 +21,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_baseline.json}"
 mkdir -p "$(dirname "$out")"
 min_speedup="${MIN_SPEEDUP:-100}"
+max_regression_pct="${MAX_REGRESSION_PCT:-20}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -40,30 +47,47 @@ $1 ~ /^round\// {
         if ($i == "median") median = to_ns($(i + 1), $(i + 2))
     }
     if (median <= 0) next
-    # The baseline records the m/n ladder ids only.
-    if ($1 !~ /mpn(10|100|1000)$/) next
     n_parts = split($1, parts, "/")
     engine = parts[2]
     id = parts[n_parts]
-    mpn = id
-    sub(/^.*mpn/, "", mpn)
-    entries[++count] = sprintf(\
-        "    {\"engine\": \"%s\", \"id\": \"%s\", \"mpn\": %s, " \
-        "\"median_ns_per_round\": %.1f, \"rounds_per_sec\": %.0f}",
-        engine, id, mpn, median, 1e9 / median)
+    if ($1 ~ /mpn(10|100|1000)$/) {
+        # Engine-comparison ids: the m/n ladder on ring:64.
+        mpn = id
+        sub(/^.*mpn/, "", mpn)
+        entries[++count] = sprintf(\
+            "    {\"engine\": \"%s\", \"id\": \"%s\", \"mpn\": %s, " \
+            "\"median_ns_per_round\": %.1f, \"rounds_per_sec\": %.0f}",
+            engine, id, mpn, median, 1e9 / median)
+    } else if ($1 ~ /-n[0-9]+(-t[0-9]+)?$/) {
+        # Sharded-round scaling ladder: `<family>-n<size>[-t<threads>]`.
+        size = id
+        sub(/^.*-n/, "", size)
+        threads = 1
+        if (size ~ /-t[0-9]+$/) {
+            threads = size
+            sub(/^.*-t/, "", threads)
+            sub(/-t[0-9]+$/, "", size)
+        }
+        entries[++count] = sprintf(\
+            "    {\"engine\": \"%s\", \"id\": \"%s\", \"n\": %s, \"threads\": %s, " \
+            "\"median_ns_per_round\": %.1f, \"rounds_per_sec\": %.0f}",
+            engine, id, size, threads, median, 1e9 / median)
+    } else {
+        next
+    }
     ns[engine "/" id] = median
 }
 END {
     if (count == 0) {
-        print "error: no round/*mpn* benchmark lines parsed" > "/dev/stderr"
+        print "error: no round/* benchmark lines parsed" > "/dev/stderr"
         exit 1
     }
     printf "{\n" > out
-    printf "  \"schema\": \"slb-bench-baseline/v1\",\n" >> out
+    printf "  \"schema\": \"slb-bench-baseline/v2\",\n" >> out
     printf "  \"generated_by\": \"scripts/bench_baseline.sh\",\n" >> out
     printf "  \"generated_at\": \"%s\",\n", generated_at >> out
     printf "  \"toolchain\": \"%s\",\n", rustc_version >> out
-    printf "  \"scenario\": \"2-class ring:64, alternating speeds 1/2 (uniform-fast: unit tasks)\",\n" >> out
+    printf "  \"scenario\": \"2-class ring:64, alternating speeds 1/2 (uniform-fast: unit tasks); scale ladder: alternating hot/cold counts, ~95 tasks/node mean\",\n" >> out
     printf "  \"entries\": [\n" >> out
     for (i = 1; i <= count; i++)
         printf "%s%s\n", entries[i], (i < count ? "," : "") >> out
@@ -97,3 +121,58 @@ END {
 }' "$raw"
 
 echo "wrote $out" >&2
+
+# Regression diff against the newest committed snapshot (if any). Only
+# (engine, id) pairs present in both files are compared, so adding or
+# retiring benchmarks never trips the gate — slowing a surviving one does.
+prev="$(git ls-files 'BENCH_*.json' | sort -V | tail -n 1 || true)"
+if [ -z "$prev" ]; then
+    echo "no committed BENCH_*.json snapshot yet — skipping regression diff" >&2
+elif [ "$prev" = "$out" ]; then
+    echo "output $out is itself the committed snapshot — skipping regression diff" >&2
+else
+    echo "diffing against committed snapshot $prev (max regression: ${max_regression_pct}%) ..." >&2
+    awk -v max_pct="$max_regression_pct" -v prev_name="$prev" '
+    # Both files are written by this script: one entry object per line.
+    function field(line, key,    s) {
+        s = line
+        if (!sub(".*\"" key "\": ", "", s)) return ""
+        sub(/[,}].*/, "", s)
+        gsub(/"/, "", s)
+        return s
+    }
+    /"median_ns_per_round"/ {
+        key = field($0, "engine") "/" field($0, "id")
+        med = field($0, "median_ns_per_round") + 0
+        if (FILENAME == ARGV[1]) old[key] = med
+        else                     new[key] = med
+    }
+    END {
+        status = 0
+        compared = 0
+        for (key in new) {
+            if (!(key in old)) continue
+            compared++
+            pct = (new[key] / old[key] - 1) * 100
+            if (pct > max_pct) {
+                printf "REGRESSION %-45s %.1f -> %.1f ns/round (%+.0f%%)\n", \
+                    key, old[key], new[key], pct > "/dev/stderr"
+                status = 1
+            } else if (pct < -max_pct) {
+                printf "improved   %-45s %.1f -> %.1f ns/round (%+.0f%%)\n", \
+                    key, old[key], new[key], pct > "/dev/stderr"
+            }
+        }
+        if (compared == 0) {
+            printf "error: no shared (engine, id) pairs between %s and the new run — \
+were the benchmarks renamed wholesale?\n", prev_name > "/dev/stderr"
+            exit 1
+        }
+        printf "compared %d shared benchmark ids against %s\n", compared, prev_name > "/dev/stderr"
+        if (status != 0) {
+            printf "error: round throughput regressed more than %s%% vs %s\n", \
+                max_pct, prev_name > "/dev/stderr"
+            exit 1
+        }
+    }' "$prev" "$out"
+fi

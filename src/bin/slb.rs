@@ -57,8 +57,11 @@ SWEEP OPTIONS:
   --max-rounds <N>   round budget per trial                 (default 200000)
   --seed <N>         base seed; cell c, trial t runs on
                      derive_seed(seed, c, t)                (default 42)
-  --threads <N>      trial fan-out (output is identical
-                     for every thread count)                (default: cores)
+  --threads <N>      one worker budget for both parallelism
+                     levels: fanned across (cell, trial) work
+                     items first, with the remainder driving
+                     each trial's sharded rounds (output is
+                     identical for every thread count)      (default: cores)
   --format <csv|json>                                       (default csv)
   --out <PATH>       write the artifact to a file instead of stdout
 

@@ -196,7 +196,7 @@ fn sweep_emits_exact_csv_schema() {
 #[test]
 fn sweep_matches_golden_file_at_any_thread_count() {
     let golden = include_str!("golden/sweep_small.csv");
-    for threads in ["1", "8"] {
+    for threads in ["1", "8", "64"] {
         let mut args = GOLDEN_SWEEP_ARGS.to_vec();
         args.extend(["--threads", threads]);
         let out = slb(&args);
@@ -369,7 +369,7 @@ const VALIDATE_CSV_HEADER: &str = "row,protocol,family,regime,load,n_ladder,tria
 #[test]
 fn validate_matches_golden_file_at_any_thread_count() {
     let golden = include_str!("golden/validate_small.md");
-    for threads in ["1", "8"] {
+    for threads in ["1", "8", "64"] {
         let mut args = GOLDEN_VALIDATE_ARGS.to_vec();
         args.extend(["--threads", threads]);
         let out = slb(&args);
