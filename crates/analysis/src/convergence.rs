@@ -57,8 +57,14 @@ pub fn geometric_rate(series: &[(u64, f64)], floor: f64) -> Option<f64> {
 }
 
 /// Validates a series against the Lemma 3.13 envelope
-/// `v(t) ≤ (1 − 1/γ)^t·v(0)` while above `floor`; returns the first
-/// violating round, or `None` if the envelope holds.
+/// `v(t) ≤ (1 − 1/γ)^(t−t₀)·v(t₀)` while above `floor`, where `t₀` is the
+/// round of the first sample; returns the first violating round, or `None`
+/// if the envelope holds.
+///
+/// The envelope is anchored at the first *recorded* sample, not at
+/// absolute round 0: a trajectory whose recording starts mid-run (a
+/// shock-recovery window, a resumed trace) decays relative to where the
+/// recording begins.
 ///
 /// A small relative slack absorbs sampling noise: a sample violates only
 /// if it exceeds the envelope by more than `slack` relatively.
@@ -68,13 +74,13 @@ pub fn envelope_violation(
     floor: f64,
     slack: f64,
 ) -> Option<u64> {
-    let start = series.first()?.1;
+    let (r0, start) = *series.first()?;
     let rho = 1.0 - 1.0 / gamma;
     for (r, v) in series {
         if *v <= floor {
             break;
         }
-        let envelope = start * rho.powf(*r as f64);
+        let envelope = start * rho.powf((*r - r0) as f64);
         if *v > envelope * (1.0 + slack) {
             return Some(*r);
         }
@@ -211,5 +217,30 @@ mod tests {
         assert!(v.is_some());
         // Below the floor nothing is checked.
         assert_eq!(envelope_violation(&slow, gamma, 1e9, 0.01), None);
+    }
+
+    #[test]
+    fn envelope_is_anchored_at_the_first_recorded_round() {
+        // Regression: a recording that starts at round r₀ > 0 (a
+        // shock-recovery window) used to be checked against the already
+        // decayed `start·ρ^r` — `start` is the value at r₀, so every
+        // conforming sample looked like a violation. The envelope must be
+        // `start·ρ^(r−r₀)`.
+        let gamma = 10.0;
+        let rho: f64 = 1.0 - 1.0 / gamma;
+        // Exactly envelope-rate decay, recorded from round 500 onward.
+        let shifted: Vec<(u64, f64)> = (0..=40)
+            .map(|i| (500 + i, 100.0 * rho.powf(i as f64)))
+            .collect();
+        assert_eq!(
+            envelope_violation(&shifted, gamma, 1e-9, 0.01),
+            None,
+            "conforming late-start series must not violate"
+        );
+        // A genuinely slower late-start series is still caught, and the
+        // reported round is in the series' own (absolute) round domain.
+        let slow: Vec<(u64, f64)> = (0..=40).map(|i| (500 + i, 100.0 * 0.99f64.powf(i as f64))).collect();
+        let v = envelope_violation(&slow, gamma, 1e-9, 0.01).unwrap();
+        assert!(v > 500, "violation round {v} must be after the anchor");
     }
 }

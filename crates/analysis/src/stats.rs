@@ -129,16 +129,23 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> LineFit {
 }
 
 /// Fits `T ∝ n^k` by regressing `ln T` on `ln n`; returns the exponent `k`
-/// and the fit. Zero or negative observations are clamped to `floor` to
+/// and the fit. Zero or negative *observations* are clamped to `floor` to
 /// keep the logarithm defined (convergence times measured as 0 rounds mean
-/// "already converged").
+/// "already converged"). The sizes `n` are taken as given — they are the
+/// ladder's x-axis and clamping them would silently bend the fit — and
+/// must all be strictly positive.
 ///
 /// # Panics
 ///
-/// As [`linear_fit`]; additionally if `floor <= 0`.
+/// As [`linear_fit`]; additionally if `floor <= 0` or any size is
+/// non-positive.
 pub fn power_law_fit(n: &[f64], t: &[f64], floor: f64) -> LineFit {
     assert!(floor > 0.0, "floor must be positive");
-    let lx: Vec<f64> = n.iter().map(|v| v.max(floor).ln()).collect();
+    assert!(
+        n.iter().all(|v| *v > 0.0),
+        "ladder sizes must be strictly positive"
+    );
+    let lx: Vec<f64> = n.iter().map(|v| v.ln()).collect();
     let ly: Vec<f64> = t.iter().map(|v| v.max(floor).ln()).collect();
     linear_fit(&lx, &ly)
 }
@@ -207,8 +214,9 @@ pub fn power_law_fit_ci(
     assert!(resamples > 0, "need at least one bootstrap resample");
     let base = power_law_fit(n, t, floor);
 
-    // OLS t-interval on the log–log slope.
-    let lx: Vec<f64> = n.iter().map(|v| v.max(floor).ln()).collect();
+    // OLS t-interval on the log–log slope. Mirrors `power_law_fit`: only
+    // the observations are floor-clamped, never the sizes.
+    let lx: Vec<f64> = n.iter().map(|v| v.ln()).collect();
     let ly: Vec<f64> = t.iter().map(|v| v.max(floor).ln()).collect();
     let count = lx.len() as f64;
     let mx = lx.iter().sum::<f64>() / count;
@@ -374,6 +382,36 @@ mod tests {
         let t = [0.0, 2.0, 8.0];
         let f = power_law_fit(&n, &t, 1.0); // 0 clamped to 1
         assert!(f.slope > 0.0);
+    }
+
+    #[test]
+    fn power_law_floor_never_clamps_sizes() {
+        // Regression: the floor clamp used to apply to the sizes `n` as
+        // well, so a ladder containing a size below the floor (here 0.5
+        // with floor 1.0) had its x-value silently rewritten to the floor
+        // — bending the fitted exponent. With T = 100·n² exactly (every
+        // observation safely above the floor, the smallest *size* below
+        // it), the fit must recover slope 2 regardless of where the floor
+        // sits.
+        let n = [0.5, 8.0, 16.0, 32.0];
+        let t: Vec<f64> = n.iter().map(|v| 100.0 * v * v).collect();
+        let f = power_law_fit(&n, &t, 1.0);
+        assert_close(f.slope, 2.0, 1e-9);
+        assert_close(f.r_squared, 1.0, 1e-9);
+        // The CI variant shares the un-clamped x-axis: its t-interval is
+        // recomputed from the same logs, so the exponent and a collapsed
+        // interval must agree with the point fit.
+        let fit = power_law_fit_ci(&n, &t, 1.0, 50, 3);
+        assert_close(fit.exponent, 2.0, 1e-9);
+        assert!(fit.brackets(2.0));
+        assert_close(fit.ci_lo, 2.0, 1e-6);
+        assert_close(fit.ci_hi, 2.0, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn power_law_rejects_non_positive_sizes() {
+        power_law_fit(&[0.0, 8.0], &[1.0, 2.0], 1.0);
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::runner::run_cell_trials;
 use crate::stats::Summary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use slb_core::engine::dynamic::{DynamicRule, DynamicSim, SpeedDynamics};
 use slb_core::engine::speed_fast::{SpeedFastRule, SpeedFastSim};
 use slb_core::engine::uniform_fast::{CountState, UniformFastSim};
 use slb_core::engine::weighted_fast::{ClassCountState, WeightedFastSim};
@@ -46,7 +47,8 @@ use slb_core::rng::derive_seed;
 use slb_workloads::placement::Placement;
 use slb_workloads::scenario;
 use slb_workloads::sweep::{
-    family_grid_label, placement_grid_label, speeds_grid_label, weights_grid_label, CellSpec,
+    arrivals_grid_label, churn_grid_label, completions_grid_label, family_grid_label,
+    placement_grid_label, speed_dyn_grid_label, speeds_grid_label, weights_grid_label, CellSpec,
     ProtocolKind, StopRule, SweepSpec,
 };
 use slb_workloads::weight_classes::WeightClasses;
@@ -67,6 +69,9 @@ pub enum EngineKind {
     SpeedFast,
     /// Sequential engine (diffusion, best response).
     Sequential,
+    /// The dynamic-scenario engine (arrivals/churn/speed dynamics on the
+    /// count-based kernel); runs a fixed horizon instead of a stop rule.
+    Dynamic,
     /// The protocol cannot run this task mode; no trials executed. No
     /// current combination maps here — retained for artifact-schema
     /// stability (zeroed rows) should a future one need to be skipped.
@@ -81,6 +86,7 @@ impl EngineKind {
             EngineKind::WeightedFast => "weighted-fast",
             EngineKind::SpeedFast => "speed-fast",
             EngineKind::Sequential => "sequential",
+            EngineKind::Dynamic => "dynamic",
             EngineKind::Unsupported => "unsupported",
         }
     }
@@ -92,6 +98,11 @@ impl EngineKind {
     /// reference implementation the χ² equivalence tests pin the fast
     /// engines against).
     pub fn for_cell(cell: &CellSpec) -> EngineKind {
+        if cell.is_dynamic() {
+            // Validation rejects dynamic × sequential protocols; every
+            // dynamic cell rides the count-based kernel.
+            return EngineKind::Dynamic;
+        }
         match cell.protocol {
             ProtocolKind::Alg1 if cell.is_uniform_tasks() => EngineKind::UniformFast,
             ProtocolKind::Alg1 => EngineKind::WeightedFast,
@@ -112,6 +123,13 @@ pub struct CellStats {
     pub migrations: Summary,
     /// `Ψ₀` of the final state per trial.
     pub psi0_final: Summary,
+    /// Time-averaged Nash gap over the horizon (dynamic cells; 0 for
+    /// static cells, whose quality metric is the stop rule itself).
+    pub nash_gap_tavg: Summary,
+    /// Rounds from the speed shock until the Nash gap first returns to
+    /// its pre-shock level (dynamic cells with `speed-dyn=shock:…`;
+    /// 0 otherwise, horizon-minus-shock when censored).
+    pub recovery_rounds: Summary,
 }
 
 /// One row of the sweep artifact.
@@ -223,6 +241,18 @@ pub fn validate(spec: &SweepSpec) -> Result<(), SweepRunError> {
                 )));
             }
         }
+        if cell.is_dynamic()
+            && matches!(
+                cell.protocol,
+                ProtocolKind::Diffusion | ProtocolKind::BestResponse
+            )
+        {
+            return Err(SweepRunError(format!(
+                "protocol `{}` has no dynamic-scenario engine (the arrivals/completions/churn/\
+                 speed-dyn axes run count-based: use alg1|alg2|bhs)",
+                cell.protocol.grid_label()
+            )));
+        }
     }
     Ok(())
 }
@@ -234,6 +264,10 @@ struct RawTrial {
     reached: bool,
     migrations: u64,
     psi0_final: f64,
+    /// Time-averaged Nash gap (dynamic trials; 0 for static trials).
+    nash_gap_tavg: f64,
+    /// Post-shock recovery rounds (dynamic shock trials; 0 otherwise).
+    recovery_rounds: f64,
 }
 
 /// The uniform per-round interface the stop-rule driver runs against.
@@ -319,6 +353,8 @@ fn run_sequential<P: slb_core::protocol::Protocol>(
             system.speeds(),
             system.tasks().total_weight(),
         ),
+        nash_gap_tavg: 0.0,
+        recovery_rounds: 0.0,
     }
 }
 
@@ -341,6 +377,8 @@ fn drive<E: CellEngine>(engine: &mut E, stop: StopRule, max_rounds: u64) -> RawT
                 reached: true,
                 migrations,
                 psi0_final: engine.psi0(),
+                nash_gap_tavg: 0.0,
+                recovery_rounds: 0.0,
             };
         }
         if executed == max_rounds {
@@ -359,6 +397,55 @@ fn drive<E: CellEngine>(engine: &mut E, stop: StopRule, max_rounds: u64) -> RawT
         reached: false,
         migrations,
         psi0_final: engine.psi0(),
+        nash_gap_tavg: 0.0,
+        recovery_rounds: 0.0,
+    }
+}
+
+/// Runs one dynamic trial: exactly `max_rounds` rounds of the event
+/// layer + kernel, tracking the per-round Nash gap for the steady-state
+/// metrics. There is no stop rule — a system under load has nothing to
+/// converge *to*; the horizon itself is the experiment.
+fn run_dynamic(
+    sim: &mut DynamicSim,
+    threshold: Threshold,
+    max_rounds: u64,
+) -> RawTrial {
+    let shock_round = match sim.config().speed_dynamics {
+        Some(SpeedDynamics::Shock { round, .. }) if round < max_rounds => Some(round),
+        _ => None,
+    };
+    let mut migrations = 0u64;
+    let mut gap_sum = 0.0f64;
+    let mut baseline: Option<f64> = None;
+    let mut recovery: Option<u64> = None;
+    for r in 0..max_rounds {
+        if Some(r) == shock_round {
+            baseline = Some(sim.nash_gap(threshold));
+        }
+        let report = sim.step();
+        migrations += report.migrations;
+        let gap = sim.nash_gap(threshold);
+        gap_sum += gap;
+        if let (Some(b), None, Some(sr)) = (baseline, recovery, shock_round) {
+            if gap <= b * 1.05 + 1e-12 {
+                recovery = Some(r + 1 - sr);
+            }
+        }
+    }
+    let recovery_rounds = match (shock_round, recovery) {
+        (None, _) => 0.0,
+        (Some(_), Some(rounds)) => rounds as f64,
+        // Censored: the gap never came back within the horizon.
+        (Some(sr), None) => (max_rounds - sr) as f64,
+    };
+    RawTrial {
+        rounds: max_rounds,
+        reached: true,
+        migrations,
+        psi0_final: sim.psi0(),
+        nash_gap_tavg: gap_sum / max_rounds as f64,
+        recovery_rounds,
     }
 }
 
@@ -452,6 +539,23 @@ fn run_trial(
                 max_rounds,
             )
         }
+        EngineKind::Dynamic => {
+            let rule = match cell.protocol {
+                ProtocolKind::Alg1 | ProtocolKind::Alg2 => DynamicRule::Relaxed,
+                ProtocolKind::Bhs => DynamicRule::OwnWeight,
+                _ => unreachable!("validation rejects dynamic × sequential protocols"),
+            };
+            let mut sim = DynamicSim::new(
+                system,
+                rule,
+                Alpha::Approximate,
+                class_state_of(&built),
+                cell.dynamic_config(),
+                sim_seed,
+            )
+            .with_threads(shard_threads);
+            run_dynamic(&mut sim, threshold, max_rounds)
+        }
         EngineKind::Sequential => match cell.protocol {
             ProtocolKind::Diffusion => run_sequential(
                 system,
@@ -525,12 +629,16 @@ pub fn run_sweep(spec: &SweepSpec, config: SweepConfig) -> Result<SweepOutcome, 
             let rounds: Vec<f64> = raw.iter().map(|t| t.rounds as f64).collect();
             let migrations: Vec<f64> = raw.iter().map(|t| t.migrations as f64).collect();
             let psi0: Vec<f64> = raw.iter().map(|t| t.psi0_final).collect();
+            let gaps: Vec<f64> = raw.iter().map(|t| t.nash_gap_tavg).collect();
+            let recoveries: Vec<f64> = raw.iter().map(|t| t.recovery_rounds).collect();
             let stats = Some(CellStats {
                 reached_fraction: raw.iter().filter(|t| t.reached).count() as f64
                     / raw.len() as f64,
                 rounds: Summary::of(&rounds),
                 migrations: Summary::of(&migrations),
                 psi0_final: Summary::of(&psi0),
+                nash_gap_tavg: Summary::of(&gaps),
+                recovery_rounds: Summary::of(&recoveries),
             });
             CellResult {
                 index,
@@ -553,9 +661,10 @@ pub fn run_sweep(spec: &SweepSpec, config: SweepConfig) -> Result<SweepOutcome, 
 /// The exact header line of the sweep CSV artifact (schema-stable; the
 /// golden-file tests and external figure scripts both key on it).
 pub const CSV_HEADER: &str = "cell,graph,n,m,protocol,engine,speeds,weights,placement,until,\
-                              trials,base_seed,max_rounds,reached_fraction,rounds_mean,\
-                              rounds_std,rounds_min,rounds_median,rounds_max,migrations_mean,\
-                              psi0_final_mean";
+                              arrivals,completions,churn,speed-dyn,trials,base_seed,max_rounds,\
+                              reached_fraction,rounds_mean,rounds_std,rounds_min,rounds_median,\
+                              rounds_max,migrations_mean,psi0_final_mean,nash_gap_tavg_mean,\
+                              recovery_rounds_mean";
 
 impl CellStats {
     /// The all-zero statistics block emitted for unsupported cells, so
@@ -574,6 +683,8 @@ impl CellStats {
             rounds: zero,
             migrations: zero,
             psi0_final: zero,
+            nash_gap_tavg: zero,
+            recovery_rounds: zero,
         }
     }
 }
@@ -603,7 +714,7 @@ impl SweepOutcome {
             let s = cell.stats.as_ref().unwrap_or(&zero);
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 cell.index,
                 family_grid_label(cell.spec.graph),
                 cell.n,
@@ -614,6 +725,10 @@ impl SweepOutcome {
                 weights_grid_label(cell.spec.weights),
                 placement_grid_label(cell.spec.placement),
                 cell.spec.stop.grid_label(),
+                arrivals_grid_label(cell.spec.arrivals),
+                completions_grid_label(cell.spec.completions),
+                churn_grid_label(cell.spec.churn),
+                speed_dyn_grid_label(cell.spec.speed_dyn),
                 if cell.stats.is_some() { self.trials } else { 0 },
                 self.base_seed,
                 self.max_rounds,
@@ -625,6 +740,8 @@ impl SweepOutcome {
                 s.rounds.max,
                 s.migrations.mean,
                 s.psi0_final.mean,
+                s.nash_gap_tavg.mean,
+                s.recovery_rounds.mean,
             );
         }
         out
@@ -641,7 +758,8 @@ impl SweepOutcome {
                 out,
                 "  {{\"cell\":{},\"graph\":\"{}\",\"n\":{},\"m\":{},\"protocol\":\"{}\",\
                  \"engine\":\"{}\",\"speeds\":\"{}\",\"weights\":\"{}\",\"placement\":\"{}\",\
-                 \"until\":\"{}\",\"trials\":{},\"base_seed\":{},\"max_rounds\":{}",
+                 \"until\":\"{}\",\"arrivals\":\"{}\",\"completions\":\"{}\",\"churn\":\"{}\",\
+                 \"speed_dyn\":\"{}\",\"trials\":{},\"base_seed\":{},\"max_rounds\":{}",
                 cell.index,
                 family_grid_label(cell.spec.graph),
                 cell.n,
@@ -652,6 +770,10 @@ impl SweepOutcome {
                 weights_grid_label(cell.spec.weights),
                 placement_grid_label(cell.spec.placement),
                 cell.spec.stop.grid_label(),
+                arrivals_grid_label(cell.spec.arrivals),
+                completions_grid_label(cell.spec.completions),
+                churn_grid_label(cell.spec.churn),
+                speed_dyn_grid_label(cell.spec.speed_dyn),
                 if cell.stats.is_some() { self.trials } else { 0 },
                 self.base_seed,
                 self.max_rounds,
@@ -663,7 +785,8 @@ impl SweepOutcome {
             let _ = write!(
                 out,
                 ",\"reached_fraction\":{},\"rounds\":{{\"mean\":{},\"std\":{},\"min\":{},\
-                 \"median\":{},\"max\":{}}},\"migrations_mean\":{},\"psi0_final_mean\":{}",
+                 \"median\":{},\"max\":{}}},\"migrations_mean\":{},\"psi0_final_mean\":{},\
+                 \"nash_gap_tavg_mean\":{},\"recovery_rounds_mean\":{}",
                 s.reached_fraction,
                 s.rounds.mean,
                 s.rounds.std_dev,
@@ -672,6 +795,8 @@ impl SweepOutcome {
                 s.rounds.max,
                 s.migrations.mean,
                 s.psi0_final.mean,
+                s.nash_gap_tavg.mean,
+                s.recovery_rounds.mean,
             );
             out.push('}');
             if i + 1 < self.cells.len() {
@@ -916,6 +1041,100 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_cells_run_fixed_horizon_and_emit_steady_state_metrics() {
+        let spec = small_spec(&[
+            "graph=ring:8",
+            "tasks-per-node=8",
+            "protocol=alg1,alg2,bhs",
+            "weights=unit,uniform:0.2..0.9",
+            "arrivals=poisson:0.5",
+            "completions=rate:0.05",
+            "churn=rate:0.02",
+            "speed-dyn=shock:40:0.25",
+            "trials=2",
+            "max-rounds=120",
+        ]);
+        let out = run_sweep(&spec, SweepConfig::sequential(21)).unwrap();
+        assert_eq!(out.cells.len(), 6);
+        for cell in &out.cells {
+            assert_eq!(cell.engine, EngineKind::Dynamic, "cell {:?}", cell.spec);
+            let s = cell.stats.as_ref().unwrap();
+            // The horizon is the run: every trial "reaches" it exactly.
+            assert_eq!(s.reached_fraction, 1.0);
+            assert_eq!(s.rounds.mean, 120.0);
+            assert!(s.migrations.min > 0.0, "a loaded system must migrate");
+            assert!(s.nash_gap_tavg.mean > 0.0, "arrivals keep the gap open");
+            assert!(s.nash_gap_tavg.mean.is_finite());
+            // The shock fires inside the horizon, so recovery is
+            // measured (possibly censored at horizon − shock = 80).
+            assert!(s.recovery_rounds.mean >= 1.0);
+            assert!(s.recovery_rounds.max <= 80.0);
+        }
+        let csv = out.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), CSV_HEADER);
+        assert!(csv.contains(",dynamic,"));
+        assert!(csv.contains(",poisson:0.5,rate:0.05,rate:0.02,shock:40:0.25,"));
+        let json = out.to_json();
+        assert!(json.contains("\"nash_gap_tavg_mean\":"));
+        assert!(json.contains("\"recovery_rounds_mean\":"));
+        assert!(json.contains("\"arrivals\":\"poisson:0.5\""));
+    }
+
+    #[test]
+    fn dynamic_sweep_is_byte_identical_across_thread_counts() {
+        let spec = small_spec(&[
+            "graph=ring:16",
+            "tasks-per-node=8",
+            "protocol=alg2",
+            "arrivals=poisson:0.5",
+            "churn=rate:0.05",
+            "speed-dyn=drift:0.1",
+            "trials=2",
+            "max-rounds=150",
+        ]);
+        let one = run_sweep(&spec, SweepConfig { base_seed: 4, threads: 1 }).unwrap();
+        let many = run_sweep(&spec, SweepConfig { base_seed: 4, threads: 8 }).unwrap();
+        assert_eq!(one.to_csv(), many.to_csv());
+        assert_eq!(one.to_json(), many.to_json());
+    }
+
+    #[test]
+    fn static_cells_keep_zero_dynamic_metrics_and_none_labels() {
+        let spec = small_spec(&[
+            "graph=ring:5",
+            "tasks-per-node=8",
+            "until=quiescent:10",
+            "trials=2",
+            "max-rounds=5000",
+        ]);
+        let out = run_sweep(&spec, SweepConfig::sequential(3)).unwrap();
+        let s = out.cells[0].stats.as_ref().unwrap();
+        assert_eq!(s.nash_gap_tavg.mean, 0.0);
+        assert_eq!(s.recovery_rounds.mean, 0.0);
+        let row = out.to_csv().lines().nth(1).unwrap().to_string();
+        assert!(row.contains(",none,none,none,none,"), "row: {row}");
+        assert!(row.ends_with(",0,0"), "row: {row}");
+    }
+
+    #[test]
+    fn validation_rejects_dynamic_sequential_protocols() {
+        for protocol in ["diffusion", "best-response"] {
+            let spec = small_spec(&[
+                &format!("protocol={protocol}"),
+                "arrivals=poisson:0.5",
+            ]);
+            let err = validate(&spec).unwrap_err();
+            assert!(
+                err.to_string().contains("no dynamic-scenario engine"),
+                "{err}"
+            );
+        }
+        // The same protocols stay valid on static cells.
+        let spec = small_spec(&["protocol=diffusion,best-response"]);
+        assert!(validate(&spec).is_ok());
+    }
+
+    #[test]
     fn unsupported_rows_render_zeroed_and_are_countable() {
         // No current combination dispatches to `Unsupported`; pin the
         // schema-stability contract on a hand-built outcome so the zeroed
@@ -940,7 +1159,7 @@ mod tests {
         let row = csv.lines().nth(1).unwrap();
         assert!(row.contains(",unsupported,"), "row: {row}");
         // Zeroed metrics and zero trials, not fabricated measurements.
-        assert!(row.ends_with(",10,0,0,0,0,0,0,0,0"), "row: {row}");
+        assert!(row.ends_with(",10,0,0,0,0,0,0,0,0,0,0"), "row: {row}");
         let json = outcome.to_json();
         assert!(json.contains("\"engine\":\"unsupported\""));
         assert!(json.contains("\"trials\":0"));

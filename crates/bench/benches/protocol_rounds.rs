@@ -6,7 +6,7 @@
 //! `BENCH_baseline.json` (per-engine round throughput at m/n ∈ {10, 100,
 //! 1000}), the recorded baseline future perf PRs diff against.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use slb_core::engine::speed_fast::{SpeedFastRule, SpeedFastSim};
@@ -377,6 +377,70 @@ fn scale_benches(c: &mut Criterion) {
     group.finish();
 }
 
+/// Arrival-injection overhead: one dynamic round with Poisson arrivals
+/// vs one static round of the same engine, both measured from a freshly
+/// warmed state on the same ring × hot-count instances as
+/// `round/uniform-fast-scale` ring-n1024 / ring-n65536. The setup (sim
+/// construction + 3 warm-up rounds) is excluded from the timing, so the
+/// `poisson-…` / `static-…` id pair diffs to the per-round cost of
+/// injecting ~rate·n arrivals (acceptance: under 2× the static round).
+fn dynamic_benches(c: &mut Criterion) {
+    use slb_core::engine::dynamic::{ArrivalProcess, DynamicConfig, DynamicRule, DynamicSim};
+
+    let per_hot = 190u64;
+    let mut group = c.benchmark_group("round/dynamic");
+    group.sample_size(10);
+    for n in [1usize << 10, 1 << 16] {
+        let counts = alternating_counts(n, per_hot);
+        let m: u64 = counts.iter().sum();
+        let system = System::new(
+            generators::ring(n),
+            SpeedVector::uniform(n),
+            TaskSet::uniform(m as usize),
+        )
+        .expect("valid instance");
+        let per_node: Vec<Vec<u64>> = counts.iter().map(|&v| vec![v]).collect();
+        for (label, cfg) in [
+            ("static", DynamicConfig::default()),
+            (
+                "poisson",
+                DynamicConfig {
+                    arrivals: Some(ArrivalProcess::Poisson { rate: 0.5 }),
+                    ..DynamicConfig::default()
+                },
+            ),
+        ] {
+            group.bench_function(
+                BenchmarkId::from_parameter(format!("{label}-ring-n{n}")),
+                |b| {
+                    b.iter_batched(
+                        || {
+                            let mut sim = DynamicSim::new(
+                                &system,
+                                DynamicRule::Relaxed,
+                                Alpha::Approximate,
+                                ClassCountState::new(vec![1.0], per_node.clone()),
+                                cfg,
+                                3,
+                            );
+                            for _ in 0..3 {
+                                sim.step();
+                            }
+                            sim
+                        },
+                        |mut sim| {
+                            sim.step();
+                            sim
+                        },
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn parallel_engine_benches(c: &mut Criterion) {
     use slb_core::engine::parallel::ParallelSimulation;
     let system = uniform_system(generators::torus(16, 16), 200); // m = 51200
@@ -410,6 +474,7 @@ criterion_group!(
     fast_path_benches,
     count_engine_benches,
     scale_benches,
+    dynamic_benches,
     parallel_engine_benches
 );
 criterion_main!(benches);

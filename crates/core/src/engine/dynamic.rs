@@ -1,0 +1,1158 @@
+//! The dynamic-scenario engine: arrivals, completions, node churn, and
+//! time-varying speeds on top of the shared count-based round kernel.
+//!
+//! Every static engine runs a fixed instance to convergence; the paper's
+//! motivating setting (large heterogeneous compute networks) is a
+//! *stream*. [`DynamicSim`] keeps the sharded kernel of
+//! [`kernel`](crate::engine::kernel) as the migration engine — one
+//! multinomial per `(node, class)`, byte-identical at any `--threads` —
+//! and injects events **between** rounds directly into the count-based
+//! class state:
+//!
+//! * **arrivals** ([`ArrivalProcess`]) — a Poisson or batch total per
+//!   round, placed uniformly over the live nodes (each arrival is an
+//!   independent uniform choice; the injection samples the equivalent
+//!   multinomial via chained conditional binomials, see the χ² test);
+//! * **completions** ([`CompletionProcess`]) — rate-based (each task
+//!   completes with probability `μ` per round, a binomial per occupied
+//!   `(node, class)` cell) or count-based (exactly `c` tasks per round,
+//!   apportioned over cells proportionally to their counts by largest
+//!   remainder — deterministic);
+//! * **churn** ([`ChurnProcess`]) — per round every live node leaves and
+//!   every dead node rejoins with probability `p`; a leaving node's tasks
+//!   re-scatter uniformly over its live neighbors (falling back to the
+//!   lowest-index live node if it has none) and the engine rebuilds the
+//!   CSR neighbor structure as the subgraph induced on the live set (dead
+//!   nodes stay in the index space with degree 0, so the kernel's flat
+//!   count layout never changes shape);
+//! * **speed dynamics** ([`SpeedDynamics`]) — geometric drift, a one-round
+//!   shock, or tauray-style feedback estimation where the kernel sees a
+//!   per-round blended *estimate* `ŝ ← ŝ + η·(s − ŝ)` instead of the true
+//!   speed. The kernel accepts the updated vector per call without
+//!   re-allocating any scratch, and `α` re-resolves against the current
+//!   speeds so `p_ij ≤ 1/4` keeps holding as they move.
+//!
+//! # Determinism
+//!
+//! The kernel draws from the sharded streams
+//! `derive_seed_sharded(seed, round, 0, shard)`. Event sampling extends
+//! the same derivation along the *stream* axis: arrivals draw from the
+//! unsharded `derive_seed(seed, round, ARRIVAL_STREAM)`, completions,
+//! churn, and speed updates from their own stream constants. Since the
+//! sharded derivation mixes the shard through one extra SplitMix64
+//! finalization, sharded and unsharded consumers of the same
+//! `(seed, round)` pair never alias — the event streams are independent
+//! of every kernel shard by construction. Events are injected on one
+//! thread in fixed node order, so the whole trajectory (kernel rounds
+//! *and* events) is a pure function of the master seed, independent of
+//! `--threads`.
+
+use crate::engine::kernel::{CountKernel, OwnWeightThreshold, RelaxedThreshold};
+use crate::engine::sampling::{sample_binomial, sample_multinomial, sample_poisson};
+use crate::engine::weighted_fast::ClassCountState;
+use crate::equilibrium::{self, Threshold};
+use crate::model::{SpeedVector, System};
+use crate::protocol::Alpha;
+use crate::rng::rng_for;
+use rand::Rng;
+use slb_graphs::Graph;
+
+/// RNG stream of the arrival totals and their placement (the kernel owns
+/// stream 0 via the sharded derivation).
+pub const ARRIVAL_STREAM: u64 = 1;
+/// RNG stream of rate-based completion draws.
+pub const COMPLETION_STREAM: u64 = 2;
+/// RNG stream of churn toggles and orphan re-scattering.
+pub const CHURN_STREAM: u64 = 3;
+/// RNG stream of speed drift/shock draws.
+pub const SPEED_STREAM: u64 = 4;
+
+/// How new tasks enter the system, per round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// `Poisson(rate · live nodes)` arrivals per round, placed uniformly
+    /// over the live nodes (`rate` is the expected arrivals per node per
+    /// round).
+    Poisson {
+        /// Expected arrivals per live node per round.
+        rate: f64,
+    },
+    /// `size` tasks every `period` rounds (first batch at round 0),
+    /// placed uniformly over the live nodes.
+    Batch {
+        /// Tasks per batch.
+        size: u64,
+        /// Rounds between batches.
+        period: u64,
+    },
+}
+
+/// How tasks leave the system, per round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompletionProcess {
+    /// Every task completes independently with probability `mu` per round
+    /// (one binomial per occupied `(node, class)` cell).
+    Rate {
+        /// Per-task per-round completion probability.
+        mu: f64,
+    },
+    /// Exactly `count` tasks complete per round (capped at the current
+    /// population), apportioned over occupied cells proportionally to
+    /// their counts by the largest-remainder method — fully
+    /// deterministic.
+    PerRound {
+        /// Tasks completed per round.
+        count: u64,
+    },
+}
+
+/// Node join/leave dynamics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnProcess {
+    /// Per-round probability that a live node leaves (and that a dead
+    /// node rejoins). The engine never lets the last live node leave.
+    pub rate: f64,
+}
+
+/// Time variation of the speed vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpeedDynamics {
+    /// Geometric random walk: each round every node's true speed is
+    /// multiplied by `exp(sigma·z)` with `z ~ N(0,1)`, clamped to a fixed
+    /// band around the initial speeds.
+    Drift {
+        /// Log-scale per-round step size.
+        sigma: f64,
+    },
+    /// At round `round`, each node's true speed is quadrupled with
+    /// probability `fraction` — a one-shot capacity shock whose recovery
+    /// the steady-state metrics measure.
+    Shock {
+        /// The round the shock fires at.
+        round: u64,
+        /// Expected fraction of nodes hit.
+        fraction: f64,
+    },
+    /// tauray-style feedback estimation: speeds are constant but the
+    /// protocol only sees a per-round blended estimate
+    /// `ŝ ← ŝ + eta·(s − ŝ)`, started from the uninformed all-ones guess.
+    Feedback {
+        /// Blend factor per round, in `(0, 1]`.
+        eta: f64,
+    },
+}
+
+/// The event layer of one dynamic run; `Default` is the fully static
+/// configuration (under which [`DynamicSim`] reproduces the static
+/// engines' trajectories bit for bit).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DynamicConfig {
+    /// Task arrivals, if any.
+    pub arrivals: Option<ArrivalProcess>,
+    /// Task completions, if any.
+    pub completions: Option<CompletionProcess>,
+    /// Node churn, if any.
+    pub churn: Option<ChurnProcess>,
+    /// Speed dynamics, if any.
+    pub speed_dynamics: Option<SpeedDynamics>,
+}
+
+impl DynamicConfig {
+    /// Whether any event process is configured.
+    pub fn is_dynamic(&self) -> bool {
+        self.arrivals.is_some()
+            || self.completions.is_some()
+            || self.churn.is_some()
+            || self.speed_dynamics.is_some()
+    }
+}
+
+/// The kernel threshold rule a dynamic run migrates under: `Relaxed` is
+/// the weight-independent `θ = 1` of Algorithms 1/2, `OwnWeight` the
+/// `θ = w` of the \[6\] baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicRule {
+    /// `θ = 1` (Algorithms 1 and 2).
+    Relaxed,
+    /// `θ = w` (the \[6\] baseline).
+    OwnWeight,
+}
+
+/// What one dynamic step did: the kernel round's totals plus the event
+/// totals injected before it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DynamicStepReport {
+    /// Tasks that migrated in the kernel round.
+    pub migrations: u64,
+    /// Total weight that migrated.
+    pub migrated_weight: f64,
+    /// Tasks that arrived this step.
+    pub arrived: u64,
+    /// Tasks that completed this step.
+    pub completed: u64,
+    /// Nodes that left this step.
+    pub left: u64,
+    /// Nodes that rejoined this step.
+    pub joined: u64,
+}
+
+/// A dynamic simulation: the sharded count kernel plus the between-round
+/// event layer of [`DynamicConfig`].
+///
+/// Unlike the static engines, the simulator *owns* its graph and speeds
+/// (churn remaps the topology, speed dynamics move the vector) and does
+/// **not** require the class state's population to match the seeding
+/// system's task count — arrivals and completions decouple `m` from the
+/// instance. Dead nodes keep their slot in every per-node array (degree 0
+/// in the live graph, zero tasks), so the kernel's node-major count
+/// layout is stable across churn.
+#[derive(Debug)]
+pub struct DynamicSim {
+    base_graph: Graph,
+    graph: Graph,
+    alive: Vec<bool>,
+    live_count: usize,
+    /// True speeds (drift and shocks mutate these).
+    true_speeds: Vec<f64>,
+    /// What the kernel sees (feedback estimates, otherwise = true).
+    effective: Vec<f64>,
+    speeds: SpeedVector,
+    drift_floor: f64,
+    drift_cap: f64,
+    state: ClassCountState,
+    /// Arrival class mix: the initial global class distribution.
+    class_mix: Vec<f64>,
+    rule: DynamicRule,
+    alpha_spec: Alpha,
+    alpha: f64,
+    cfg: DynamicConfig,
+    kernel: CountKernel,
+    seed: u64,
+    round: u64,
+    threads: usize,
+    scratch_counts: Vec<u64>,
+}
+
+impl DynamicSim {
+    /// Builds a dynamic simulation seeded from `system`'s graph and
+    /// speeds, starting at `state`.
+    ///
+    /// # Panics
+    ///
+    /// If the state's node count differs from the graph's, or if
+    /// `alpha` is [`Alpha::Exact`] while speed dynamics are configured
+    /// (a drifting vector has no granularity to resolve `α` against).
+    pub fn new(
+        system: &System,
+        rule: DynamicRule,
+        alpha: Alpha,
+        state: ClassCountState,
+        cfg: DynamicConfig,
+        seed: u64,
+    ) -> Self {
+        let graph = system.graph().clone();
+        let n = graph.node_count();
+        assert_eq!(state.nodes(), n, "state/graph node count mismatch");
+        assert!(
+            !(cfg.speed_dynamics.is_some() && alpha == Alpha::Exact),
+            "Alpha::Exact requires a fixed speed granularity; \
+             use Approximate (or Custom) under speed dynamics"
+        );
+        let true_speeds = system.speeds().as_slice().to_vec();
+        // Feedback runs start from the uninformed all-ones estimate; every
+        // other mode sees the true speeds.
+        let effective = match cfg.speed_dynamics {
+            Some(SpeedDynamics::Feedback { .. }) => vec![1.0; n],
+            _ => true_speeds.clone(),
+        };
+        let speeds = SpeedVector::new(effective.clone()).expect("positive finite speeds");
+        let resolved = alpha.resolve(&speeds);
+        let s_min = true_speeds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let s_max = true_speeds.iter().cloned().fold(0.0f64, f64::max);
+        let total = state.total_tasks();
+        let k = state.classes();
+        let class_mix: Vec<f64> = if total == 0 {
+            vec![1.0 / k as f64; k]
+        } else {
+            (0..k)
+                .map(|c| state.class_total(c) as f64 / total as f64)
+                .collect()
+        };
+        DynamicSim {
+            base_graph: graph.clone(),
+            graph,
+            alive: vec![true; n],
+            live_count: n,
+            true_speeds,
+            effective,
+            speeds,
+            drift_floor: (s_min / 16.0).max(1e-9),
+            drift_cap: s_max * 16.0,
+            state,
+            class_mix,
+            rule,
+            alpha_spec: alpha,
+            alpha: resolved,
+            cfg,
+            kernel: CountKernel::new(),
+            seed,
+            round: 0,
+            threads: 1,
+            scratch_counts: Vec::new(),
+        }
+    }
+
+    /// Caps the kernel's worker fan-out (no effect on the trajectory).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread cap must be at least 1");
+        self.threads = threads;
+        self
+    }
+
+    /// The current class state.
+    pub fn state(&self) -> &ClassCountState {
+        &self.state
+    }
+
+    /// The event configuration this run was built with.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.cfg
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The speeds the protocol currently sees.
+    pub fn effective_speeds(&self) -> &[f64] {
+        self.speeds.as_slice()
+    }
+
+    /// The true speeds (equal to the effective ones except under
+    /// feedback estimation).
+    pub fn true_speeds(&self) -> &[f64] {
+        &self.true_speeds
+    }
+
+    /// Which nodes are currently live.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Number of live nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.live_count
+    }
+
+    /// The current (churn-induced) topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Current task population.
+    pub fn total_tasks(&self) -> u64 {
+        self.state.total_tasks()
+    }
+
+    /// The smallest `ε` for which the current state is an ε-approximate
+    /// NE on the live topology (0 at an exact NE) — the per-round
+    /// steady-state quality metric. Dead nodes are isolated and empty, so
+    /// they constrain nothing.
+    pub fn nash_gap(&self, threshold: Threshold) -> f64 {
+        let (loads, thresholds, occupied) =
+            crate::engine::kernel::class_equilibrium_inputs(&self.state, &self.speeds, threshold);
+        equilibrium::nash_gap_loads(&self.graph, &self.speeds, &loads, &thresholds, &occupied)
+    }
+
+    /// `Ψ₀` restricted to the live nodes: squared speed-normalized
+    /// deviation from the balanced allocation of the *current* population
+    /// over the *current* live capacity.
+    pub fn psi0(&self) -> f64 {
+        let s_live: f64 = (0..self.alive.len())
+            .filter(|&v| self.alive[v])
+            .map(|v| self.speeds.speed(v))
+            .sum();
+        if s_live <= 0.0 {
+            return 0.0;
+        }
+        let total_weight = self.state.total_weight();
+        let per_capacity = total_weight / s_live;
+        (0..self.alive.len())
+            .filter(|&v| self.alive[v])
+            .map(|v| {
+                let s = self.speeds.speed(v);
+                let e = self.state.node_weight(v) - per_capacity * s;
+                e * e / s
+            })
+            .sum()
+    }
+
+    /// Executes one dynamic step: the event layer (speeds → churn →
+    /// completions → arrivals, each on its own RNG stream of this round),
+    /// then one kernel round on the updated state.
+    pub fn step(&mut self) -> DynamicStepReport {
+        let mut report = DynamicStepReport::default();
+        self.update_speeds();
+        self.apply_churn(&mut report);
+        self.apply_completions(&mut report);
+        self.apply_arrivals(&mut report);
+
+        let (class_weights, counts) = self.state.kernel_view();
+        let totals = match self.rule {
+            DynamicRule::Relaxed => self.kernel.step(
+                &self.graph,
+                &self.speeds,
+                self.alpha,
+                &RelaxedThreshold,
+                class_weights,
+                counts,
+                self.seed,
+                self.round,
+                self.threads,
+            ),
+            DynamicRule::OwnWeight => self.kernel.step(
+                &self.graph,
+                &self.speeds,
+                self.alpha,
+                &OwnWeightThreshold,
+                class_weights,
+                counts,
+                self.seed,
+                self.round,
+                self.threads,
+            ),
+        };
+        self.round += 1;
+        report.migrations = totals.migrations;
+        report.migrated_weight = totals.migrated_weight;
+        report
+    }
+
+    /// Applies this round's speed dynamics and, when the vector moved,
+    /// re-resolves `α` against it (keeping `p_ij ≤ 1/4` as speeds drift).
+    fn update_speeds(&mut self) {
+        let Some(dynamics) = self.cfg.speed_dynamics else {
+            return;
+        };
+        let mut rng = rng_for(self.seed, self.round, SPEED_STREAM);
+        let changed = match dynamics {
+            SpeedDynamics::Drift { sigma } => {
+                for s in self.true_speeds.iter_mut() {
+                    let z = crate::engine::sampling::sample_standard_normal(&mut rng);
+                    *s = (*s * (sigma * z).exp()).clamp(self.drift_floor, self.drift_cap);
+                }
+                self.effective.copy_from_slice(&self.true_speeds);
+                true
+            }
+            SpeedDynamics::Shock { round, fraction } => {
+                if self.round != round {
+                    return;
+                }
+                for s in self.true_speeds.iter_mut() {
+                    if rng.gen_range(0.0..1.0) < fraction {
+                        *s = (*s * 4.0).min(self.drift_cap);
+                    }
+                }
+                self.effective.copy_from_slice(&self.true_speeds);
+                true
+            }
+            SpeedDynamics::Feedback { eta } => {
+                for (est, &truth) in self.effective.iter_mut().zip(&self.true_speeds) {
+                    *est += eta * (truth - *est);
+                }
+                true
+            }
+        };
+        if changed {
+            self.speeds = SpeedVector::new(self.effective.clone()).expect("speeds stay positive");
+            self.alpha = self.alpha_spec.resolve(&self.speeds);
+        }
+    }
+
+    /// Samples this round's join/leave toggles, re-scatters the tasks of
+    /// leaving nodes over their live neighbors, and rebuilds the induced
+    /// live topology when membership changed.
+    fn apply_churn(&mut self, report: &mut DynamicStepReport) {
+        let Some(ChurnProcess { rate }) = self.cfg.churn else {
+            return;
+        };
+        let n = self.alive.len();
+        let mut rng = rng_for(self.seed, self.round, CHURN_STREAM);
+        // Toggle draws in fixed node order (one uniform per node, live or
+        // dead, so the stream position never depends on churn history).
+        let mut leaving: Vec<usize> = Vec::new();
+        let mut joined = 0u64;
+        for v in 0..n {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            if u >= rate {
+                continue;
+            }
+            if self.alive[v] {
+                leaving.push(v);
+            } else {
+                self.alive[v] = true;
+                self.live_count += 1;
+                joined += 1;
+            }
+        }
+        // Never let the membership empty out: keep the lowest-index
+        // would-be leaver alive instead.
+        if !leaving.is_empty() && self.live_count == leaving.len() {
+            leaving.remove(0);
+        }
+        for &v in &leaving {
+            self.alive[v] = false;
+            self.live_count -= 1;
+        }
+        report.left = leaving.len() as u64;
+        report.joined = joined;
+        if leaving.is_empty() && joined == 0 {
+            return;
+        }
+        // Re-scatter each leaver's tasks uniformly over its live
+        // base-graph neighbors (sequential conditional binomials — the
+        // exact uniform multinomial), falling back to the lowest-index
+        // live node when it has none.
+        let k = self.state.classes();
+        let fallback = self.alive.iter().position(|&a| a).expect("a live node");
+        for &v in &leaving {
+            let targets: Vec<usize> = self
+                .base_graph
+                .neighbors(slb_graphs::NodeId(v))
+                .iter()
+                .map(|j| j.index())
+                .filter(|&j| self.alive[j])
+                .collect();
+            let (_, counts) = self.state.kernel_view();
+            for c in 0..k {
+                let have = counts[v * k + c];
+                if have == 0 {
+                    continue;
+                }
+                counts[v * k + c] = 0;
+                if targets.is_empty() {
+                    counts[fallback * k + c] += have;
+                    continue;
+                }
+                let mut remaining = have;
+                for (idx, &j) in targets.iter().enumerate() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let rest = (targets.len() - idx) as f64;
+                    let take = if idx + 1 == targets.len() {
+                        remaining
+                    } else {
+                        sample_binomial(remaining, 1.0 / rest, &mut rng)
+                    };
+                    counts[j * k + c] += take;
+                    remaining -= take;
+                }
+            }
+        }
+        // Remap the CSR structure: the subgraph induced on the live set,
+        // over the unchanged node index space.
+        let alive = &self.alive;
+        self.graph = Graph::from_edges(
+            n,
+            self.base_graph
+                .edges()
+                .iter()
+                .filter(|(a, b)| alive[a.index()] && alive[b.index()])
+                .map(|(a, b)| (a.index(), b.index())),
+        )
+        .expect("induced subgraph of a valid graph is valid");
+    }
+
+    /// Removes this round's completed tasks from the class state.
+    fn apply_completions(&mut self, report: &mut DynamicStepReport) {
+        let Some(process) = self.cfg.completions else {
+            return;
+        };
+        match process {
+            CompletionProcess::Rate { mu } => {
+                let mut rng = rng_for(self.seed, self.round, COMPLETION_STREAM);
+                let (_, counts) = self.state.kernel_view();
+                for cell in counts.iter_mut() {
+                    if *cell == 0 {
+                        continue;
+                    }
+                    let done = sample_binomial(*cell, mu, &mut rng);
+                    *cell -= done;
+                    report.completed += done;
+                }
+            }
+            CompletionProcess::PerRound { count } => {
+                let total = self.state.total_tasks();
+                let take = count.min(total);
+                if take == 0 {
+                    return;
+                }
+                // Largest-remainder apportionment proportional to the
+                // cell counts: deterministic, exact total.
+                let (_, counts) = self.state.kernel_view();
+                let mut floors = 0u64;
+                let mut fracs: Vec<(f64, usize)> = Vec::new();
+                self.scratch_counts.clear();
+                for (i, &cell) in counts.iter().enumerate() {
+                    let quota = take as f64 * cell as f64 / total as f64;
+                    let base = (quota.floor() as u64).min(cell);
+                    self.scratch_counts.push(base);
+                    floors += base;
+                    if cell > base {
+                        fracs.push((quota - base as f64, i));
+                    }
+                }
+                // Distribute the leftover to the largest fractional
+                // parts; ties break toward lower cell index.
+                fracs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+                let mut leftover = take - floors;
+                for &(_, i) in &fracs {
+                    if leftover == 0 {
+                        break;
+                    }
+                    if counts[i] > self.scratch_counts[i] {
+                        self.scratch_counts[i] += 1;
+                        leftover -= 1;
+                    }
+                }
+                for (cell, &done) in counts.iter_mut().zip(&self.scratch_counts) {
+                    *cell -= done;
+                    report.completed += done;
+                }
+            }
+        }
+    }
+
+    /// Injects this round's arrivals: a sampled total, placed uniformly
+    /// over the live nodes, then split over weight classes by the initial
+    /// class mix.
+    fn apply_arrivals(&mut self, report: &mut DynamicStepReport) {
+        let Some(process) = self.cfg.arrivals else {
+            return;
+        };
+        let mut rng = rng_for(self.seed, self.round, ARRIVAL_STREAM);
+        let total = match process {
+            ArrivalProcess::Poisson { rate } => {
+                sample_poisson(rate * self.live_count as f64, &mut rng)
+            }
+            ArrivalProcess::Batch { size, period } => {
+                if self.round.is_multiple_of(period.max(1)) {
+                    size
+                } else {
+                    0
+                }
+            }
+        };
+        if total == 0 {
+            return;
+        }
+        report.arrived = total;
+        let k = self.state.classes();
+        let class_mix = std::mem::take(&mut self.class_mix);
+        let mut class_out: Vec<u64> = Vec::new();
+        let live = self.live_count;
+        let n = self.alive.len();
+        let (_, counts) = self.state.kernel_view();
+        // Both placement regimes sample the same multinomial of `total`
+        // independent uniform choices over the live nodes; the split
+        // keeps placement cost `O(min(total, live))` so sparse Poisson
+        // arrivals don't pay one binomial per node per round.
+        if (total as usize) <= live {
+            // Sparse regime: draw each task's node directly. Per-node
+            // totals are accumulated before the class split so classes
+            // are assigned in node order — placement stays a pure
+            // function of the arrival stream regardless of draw order.
+            if k == 1 && live == n {
+                for _ in 0..total {
+                    let pick = rng.gen_range(0..live);
+                    counts[pick] += 1;
+                }
+            } else {
+                self.scratch_counts.clear();
+                self.scratch_counts.resize(live, 0);
+                for _ in 0..total {
+                    let pick = rng.gen_range(0..live);
+                    self.scratch_counts[pick] += 1;
+                }
+                let mut idx = 0usize;
+                for v in 0..n {
+                    if !self.alive[v] {
+                        continue;
+                    }
+                    let here = self.scratch_counts[idx];
+                    idx += 1;
+                    if here == 0 {
+                        continue;
+                    }
+                    if k == 1 {
+                        counts[v] += here;
+                    } else {
+                        sample_multinomial(here, &class_mix, &mut class_out, &mut rng);
+                        for (c, &add) in class_out.iter().enumerate() {
+                            counts[v * k + c] += add;
+                        }
+                    }
+                }
+            }
+        } else {
+            // Dense regime (large batches): sequential conditional
+            // binomials — node v (the idx-th live node of L) receives
+            // Binomial(remaining, 1/(L − idx)).
+            let mut remaining = total;
+            let mut idx = 0usize;
+            for v in 0..n {
+                if !self.alive[v] {
+                    continue;
+                }
+                if remaining == 0 {
+                    break;
+                }
+                let here = if idx + 1 == live {
+                    remaining
+                } else {
+                    sample_binomial(remaining, 1.0 / (live - idx) as f64, &mut rng)
+                };
+                idx += 1;
+                if here == 0 {
+                    continue;
+                }
+                remaining -= here;
+                if k == 1 {
+                    counts[v] += here;
+                } else {
+                    sample_multinomial(here, &class_mix, &mut class_out, &mut rng);
+                    for (c, &add) in class_out.iter().enumerate() {
+                        counts[v * k + c] += add;
+                    }
+                }
+            }
+        }
+        self.class_mix = class_mix;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::weighted_fast::WeightedFastSim;
+    use crate::model::TaskSet;
+    use slb_graphs::generators;
+
+    fn system(n: usize, speeds: Vec<f64>, m: u64) -> System {
+        System::new(
+            generators::ring(n),
+            SpeedVector::new(speeds).unwrap(),
+            TaskSet::uniform((m as usize).max(1)),
+        )
+        .unwrap()
+    }
+
+    fn hot_state(n: usize, m: u64) -> ClassCountState {
+        let mut per_node = vec![vec![0u64]; n];
+        per_node[0][0] = m;
+        ClassCountState::new(vec![1.0], per_node)
+    }
+
+    #[test]
+    fn static_config_reproduces_the_weighted_engine_bit_for_bit() {
+        // With no events configured, a dynamic step is exactly a kernel
+        // round on the same streams — the trajectory must match the
+        // static weighted engine sample for sample.
+        let sys = system(16, vec![1.0; 16], 320);
+        let mut dynamic = DynamicSim::new(
+            &sys,
+            DynamicRule::Relaxed,
+            Alpha::Approximate,
+            hot_state(16, 320),
+            DynamicConfig::default(),
+            99,
+        );
+        let mut classic = WeightedFastSim::new(&sys, Alpha::Approximate, hot_state(16, 320), 99);
+        for round in 0..40 {
+            let a = dynamic.step();
+            let b = classic.step();
+            assert_eq!(a.migrations, b.migrations, "round {round}");
+            for v in 0..16 {
+                assert_eq!(
+                    dynamic.state().counts(v),
+                    classic.state().counts(v),
+                    "round {round}, node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_is_thread_invariant() {
+        let sys = system(24, (0..24).map(|i| 1.0 + (i % 3) as f64).collect(), 480);
+        let cfg = DynamicConfig {
+            arrivals: Some(ArrivalProcess::Poisson { rate: 0.4 }),
+            completions: Some(CompletionProcess::Rate { mu: 0.05 }),
+            churn: Some(ChurnProcess { rate: 0.05 }),
+            speed_dynamics: Some(SpeedDynamics::Drift { sigma: 0.1 }),
+        };
+        let run = |threads: usize| {
+            let mut sim = DynamicSim::new(
+                &sys,
+                DynamicRule::Relaxed,
+                Alpha::Approximate,
+                hot_state(24, 480),
+                cfg,
+                7,
+            )
+            .with_threads(threads);
+            let mut log = Vec::new();
+            for _ in 0..60 {
+                let rep = sim.step();
+                log.push((
+                    rep.migrations,
+                    rep.arrived,
+                    rep.completed,
+                    rep.left,
+                    rep.joined,
+                    sim.total_tasks(),
+                ));
+            }
+            (log, (0..24).map(|v| sim.state().counts(v).to_vec()).collect::<Vec<_>>())
+        };
+        let (log1, counts1) = run(1);
+        let (log8, counts8) = run(8);
+        let (log64, counts64) = run(64);
+        assert_eq!(log1, log8);
+        assert_eq!(log1, log64);
+        assert_eq!(counts1, counts8);
+        assert_eq!(counts1, counts64);
+    }
+
+    #[test]
+    fn population_accounting_balances_every_step() {
+        let sys = system(12, vec![1.0; 12], 120);
+        let cfg = DynamicConfig {
+            arrivals: Some(ArrivalProcess::Poisson { rate: 1.0 }),
+            completions: Some(CompletionProcess::Rate { mu: 0.1 }),
+            churn: Some(ChurnProcess { rate: 0.1 }),
+            speed_dynamics: None,
+        };
+        let mut sim = DynamicSim::new(
+            &sys,
+            DynamicRule::Relaxed,
+            Alpha::Approximate,
+            hot_state(12, 120),
+            cfg,
+            13,
+        );
+        let mut population = sim.total_tasks();
+        for round in 0..200 {
+            let rep = sim.step();
+            let expected = population + rep.arrived - rep.completed;
+            assert_eq!(sim.total_tasks(), expected, "round {round}");
+            population = expected;
+            // Dead nodes hold nothing: churn re-scatters before the round.
+            for v in 0..12 {
+                if !sim.alive()[v] {
+                    assert_eq!(sim.state().node_task_count(v), 0, "dead node {v} holds tasks");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_based_completions_remove_exactly_the_requested_count() {
+        let sys = system(8, vec![1.0; 8], 400);
+        let cfg = DynamicConfig {
+            completions: Some(CompletionProcess::PerRound { count: 7 }),
+            ..DynamicConfig::default()
+        };
+        let mut sim = DynamicSim::new(
+            &sys,
+            DynamicRule::Relaxed,
+            Alpha::Approximate,
+            hot_state(8, 400),
+            cfg,
+            5,
+        );
+        let mut expect = 400u64;
+        while expect > 0 {
+            let rep = sim.step();
+            assert_eq!(rep.completed, 7.min(expect));
+            expect -= rep.completed;
+            assert_eq!(sim.total_tasks(), expect);
+        }
+        // Empty system stays empty and quiet.
+        let rep = sim.step();
+        assert_eq!(rep.completed, 0);
+        assert_eq!(rep.migrations, 0);
+    }
+
+    #[test]
+    fn batch_arrivals_fire_on_the_period() {
+        let sys = system(6, vec![1.0; 6], 0);
+        let cfg = DynamicConfig {
+            arrivals: Some(ArrivalProcess::Batch { size: 30, period: 5 }),
+            ..DynamicConfig::default()
+        };
+        let mut sim = DynamicSim::new(
+            &sys,
+            DynamicRule::Relaxed,
+            Alpha::Approximate,
+            hot_state(6, 0),
+            cfg,
+            3,
+        );
+        for round in 0..20u64 {
+            let rep = sim.step();
+            let expected = if round % 5 == 0 { 30 } else { 0 };
+            assert_eq!(rep.arrived, expected, "round {round}");
+        }
+        assert_eq!(sim.total_tasks(), 4 * 30);
+    }
+
+    #[test]
+    fn churn_leaves_rescatter_to_live_neighbors_and_remap_the_graph() {
+        // Force every node to attempt to leave: the engine must keep one
+        // node alive, park the whole population on it, and empty the
+        // induced edge set.
+        let sys = system(6, vec![1.0; 6], 60);
+        let cfg = DynamicConfig {
+            churn: Some(ChurnProcess { rate: 1.0 }),
+            ..DynamicConfig::default()
+        };
+        let mut sim = DynamicSim::new(
+            &sys,
+            DynamicRule::Relaxed,
+            Alpha::Approximate,
+            hot_state(6, 60),
+            cfg,
+            11,
+        );
+        let rep = sim.step();
+        assert_eq!(rep.left, 5);
+        assert_eq!(sim.live_nodes(), 1);
+        assert_eq!(sim.total_tasks(), 60, "re-scatter conserves tasks");
+        assert_eq!(sim.graph().edge_count(), 0, "lone survivor has no edges");
+        let survivor = sim.alive().iter().position(|&a| a).unwrap();
+        assert_eq!(sim.state().node_task_count(survivor), 60);
+        // Next round (rate 1 again) every dead node rejoins with zero
+        // tasks while the old survivor leaves, scattering its hoard to
+        // its freshly-revived ring neighbors. The induced topology is the
+        // 6-ring minus one node: a 5-path.
+        let rep = sim.step();
+        assert_eq!(rep.joined, 5);
+        assert_eq!(rep.left, 1);
+        assert_eq!(sim.live_nodes(), 5);
+        assert_eq!(sim.graph().edge_count(), 4);
+        assert_eq!(sim.total_tasks(), 60);
+    }
+
+    #[test]
+    fn shock_quadruples_the_sampled_fraction_once() {
+        let sys = system(32, vec![2.0; 32], 64);
+        let cfg = DynamicConfig {
+            speed_dynamics: Some(SpeedDynamics::Shock {
+                round: 3,
+                fraction: 0.5,
+            }),
+            ..DynamicConfig::default()
+        };
+        let mut sim = DynamicSim::new(
+            &sys,
+            DynamicRule::Relaxed,
+            Alpha::Approximate,
+            hot_state(32, 64),
+            cfg,
+            17,
+        );
+        for _ in 0..3 {
+            sim.step();
+            assert!(sim.effective_speeds().iter().all(|&s| s == 2.0));
+        }
+        sim.step();
+        let hit = sim.effective_speeds().iter().filter(|&&s| s == 8.0).count();
+        let unhit = sim.effective_speeds().iter().filter(|&&s| s == 2.0).count();
+        assert_eq!(hit + unhit, 32);
+        assert!(hit > 0, "an expected half of 32 nodes can't all miss");
+        // The shock is one-shot.
+        let snapshot = sim.effective_speeds().to_vec();
+        sim.step();
+        assert_eq!(sim.effective_speeds(), &snapshot[..]);
+    }
+
+    #[test]
+    fn feedback_estimates_converge_to_the_true_speeds() {
+        let truth: Vec<f64> = (0..8).map(|i| 1.0 + i as f64).collect();
+        let sys = system(8, truth.clone(), 80);
+        let cfg = DynamicConfig {
+            speed_dynamics: Some(SpeedDynamics::Feedback { eta: 0.2 }),
+            ..DynamicConfig::default()
+        };
+        let mut sim = DynamicSim::new(
+            &sys,
+            DynamicRule::Relaxed,
+            Alpha::Approximate,
+            hot_state(8, 80),
+            cfg,
+            23,
+        );
+        assert_eq!(sim.true_speeds(), &truth[..]);
+        for _ in 0..60 {
+            sim.step();
+        }
+        for (est, t) in sim.effective_speeds().iter().zip(&truth) {
+            assert!((est - t).abs() < 1e-4, "estimate {est} vs true {t}");
+        }
+    }
+
+    #[test]
+    fn drift_keeps_speeds_inside_the_band_and_alpha_valid() {
+        let sys = system(16, vec![1.0; 16], 160);
+        let cfg = DynamicConfig {
+            speed_dynamics: Some(SpeedDynamics::Drift { sigma: 0.5 }),
+            ..DynamicConfig::default()
+        };
+        let mut sim = DynamicSim::new(
+            &sys,
+            DynamicRule::Relaxed,
+            Alpha::Approximate,
+            hot_state(16, 160),
+            cfg,
+            29,
+        );
+        for _ in 0..100 {
+            sim.step();
+            let s_max = sim
+                .effective_speeds()
+                .iter()
+                .cloned()
+                .fold(0.0f64, f64::max);
+            assert!(sim.effective_speeds().iter().all(|&s| s > 0.0));
+            assert!(s_max <= 16.0 + 1e-12, "cap breached: {s_max}");
+            // α tracks the moving maximum (p_ij ≤ 1/4 needs α ≥ 4·s_max).
+            assert!(sim.alpha >= 4.0 * s_max - 1e-9);
+        }
+        // Speeds actually moved.
+        assert!(sim.effective_speeds().iter().any(|&s| (s - 1.0).abs() > 1e-3));
+    }
+
+    #[test]
+    fn arrival_injection_matches_per_task_reference_chi_squared() {
+        // The injection path places a round's arrivals via sequential
+        // conditional binomials; the reference semantics is `total`
+        // independent uniform node choices. Both are Multinomial(A,
+        // uniform), so a χ² goodness-of-fit against the uniform
+        // expectation must accept BOTH at the same (generous) critical
+        // value — mirroring the sharded-vs-per-task kernel conformance
+        // tests.
+        let n = 8usize;
+        let rounds = 400u64;
+        let per_round = 64u64;
+        let sys = system(n, vec![1.0; n], 0);
+        let cfg = DynamicConfig {
+            arrivals: Some(ArrivalProcess::Batch {
+                size: per_round,
+                period: 1,
+            }),
+            ..DynamicConfig::default()
+        };
+        // Injection path: accumulate per-node arrival tallies. Alpha high
+        // so no migration noise: with an empty initial state and arrivals
+        // only, migrations still happen; instead tally arrivals per node
+        // per round by diffing counts before the kernel acts — simplest:
+        // run 1-node-at-a-time? Cleaner: use a fresh sim per round and
+        // read state after one step with migrations impossible (complete
+        // graph of equal loads won't fire? loads differ...). Simplest
+        // robust scheme: m = 0 initial, single step per seed, and the
+        // kernel's round after injection cannot move tasks because every
+        // node's load gap on a ring of equal speeds after one uniform
+        // placement round is at most the threshold... not guaranteed.
+        // Therefore tally the *report* path: build the sim, step once,
+        // and read counts BEFORE any migration by using a rule that never
+        // fires: OwnWeight with unit tasks behaves like Relaxed, so
+        // instead use alpha = Custom(huge) — p_ij ~ 1/α → essentially no
+        // migrations, and any residual migration conserves totals but
+        // could blur placement. Use α big enough that P(any migration in
+        // the test) < 1e-9.
+        let mut tally = vec![0u64; n];
+        for seed in 0..rounds {
+            let mut sim = DynamicSim::new(
+                &sys,
+                DynamicRule::Relaxed,
+                Alpha::Custom(1e12),
+                hot_state(n, 0),
+                cfg,
+                seed,
+            );
+            sim.step();
+            for (v, t) in tally.iter_mut().enumerate() {
+                *t += sim.state().node_task_count(v);
+            }
+        }
+        // Per-task reference: the same number of independent uniform
+        // draws, tallied directly.
+        let mut reference = vec![0u64; n];
+        let mut rng = rng_for(0xfeed, 0, ARRIVAL_STREAM);
+        for _ in 0..rounds * per_round {
+            reference[rng.gen_range(0..n)] += 1;
+        }
+        let total = (rounds * per_round) as f64;
+        let expected = total / n as f64;
+        let chi2 = |tallies: &[u64]| -> f64 {
+            tallies
+                .iter()
+                .map(|&o| {
+                    let d = o as f64 - expected;
+                    d * d / expected
+                })
+                .sum()
+        };
+        // df = 7; the 99.9% quantile is 24.3. Both paths must sit far
+        // below it for these sample sizes if they realize the same
+        // distribution.
+        let injected = chi2(&tally);
+        let per_task = chi2(&reference);
+        assert!(injected < 24.3, "injection path χ² = {injected}");
+        assert!(per_task < 24.3, "reference path χ² = {per_task}");
+        assert_eq!(tally.iter().sum::<u64>(), rounds * per_round);
+    }
+
+    #[test]
+    fn weighted_arrivals_follow_the_initial_class_mix() {
+        // Two classes seeded 3:1 — arrivals must keep that mix.
+        let sys = System::new(
+            generators::ring(8),
+            SpeedVector::uniform(8),
+            TaskSet::uniform(400),
+        )
+        .unwrap();
+        let mut per_node = vec![vec![0u64, 0u64]; 8];
+        per_node[0] = vec![300, 100];
+        let state = ClassCountState::new(vec![1.0, 0.5], per_node);
+        let cfg = DynamicConfig {
+            arrivals: Some(ArrivalProcess::Batch {
+                size: 1000,
+                period: 1,
+            }),
+            ..DynamicConfig::default()
+        };
+        let mut sim = DynamicSim::new(
+            &sys,
+            DynamicRule::Relaxed,
+            Alpha::Approximate,
+            state,
+            cfg,
+            31,
+        );
+        for _ in 0..20 {
+            sim.step();
+        }
+        let arrived = sim.total_tasks() - 400;
+        assert_eq!(arrived, 20_000);
+        let heavy = sim.state().class_total(0) - 300;
+        let share = heavy as f64 / arrived as f64;
+        assert!(
+            (share - 0.75).abs() < 0.02,
+            "heavy-class share {share} vs mix 0.75"
+        );
+    }
+}

@@ -62,10 +62,10 @@ use crate::engine::sampling::sample_multinomial;
 use crate::engine::uniform_fast::FastRunOutcome;
 use crate::engine::weighted_fast::ClassCountState;
 use crate::equilibrium::Threshold;
-use crate::model::{SpeedVector, System};
+use crate::model::SpeedVector;
 use crate::protocol::migration_probability;
 use crate::rng::rng_for_shard;
-use slb_graphs::NodeId;
+use slb_graphs::{Graph, NodeId};
 use std::ops::Range;
 
 /// Fixed number of node shards per round. A constant — independent of
@@ -197,10 +197,17 @@ impl CountKernel {
     /// snapshot. Randomness is drawn from the per-shard streams of
     /// `(seed, round)`; `threads` caps the worker fan-out and has **no**
     /// effect on the result.
+    ///
+    /// `graph` and `speeds` are passed per call rather than captured at
+    /// construction: the dynamic engine feeds a churn-remapped graph and a
+    /// per-round speed vector through the *same* kernel (and the same
+    /// scratch buffers — nothing is re-allocated when either changes), the
+    /// static engines simply pass their system's members every round.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn step<R: ThresholdRule + Sync>(
         &mut self,
-        system: &System,
+        graph: &Graph,
+        speeds: &SpeedVector,
         alpha: f64,
         rule: &R,
         class_weights: &[f64],
@@ -209,8 +216,7 @@ impl CountKernel {
         round: u64,
         threads: usize,
     ) -> StepTotals {
-        let g = system.graph();
-        let speeds = system.speeds();
+        let g = graph;
         let k = class_weights.len();
         let n = g.node_count();
         debug_assert_eq!(counts.len(), n * k, "node-major counts, k per node");
@@ -285,7 +291,8 @@ impl CountKernel {
         if workers <= 1 {
             for (shard, range, delta, scratch) in jobs {
                 run_shard::<R>(
-                    system,
+                    graph,
+                    speeds,
                     alpha,
                     class_weights,
                     class_thresholds,
@@ -313,7 +320,8 @@ impl CountKernel {
                     scope.spawn(move |_| {
                         for (shard, range, delta, scratch) in batch {
                             run_shard::<R>(
-                                system,
+                                graph,
+                                speeds,
                                 alpha,
                                 class_weights,
                                 class_thresholds,
@@ -360,7 +368,8 @@ impl CountKernel {
 /// stream, so the caller's scheduling cannot change the draws.
 #[allow(clippy::too_many_arguments)]
 fn run_shard<R: ThresholdRule>(
-    system: &System,
+    graph: &Graph,
+    speeds: &SpeedVector,
     alpha: f64,
     class_weights: &[f64],
     class_thresholds: &[f64],
@@ -374,8 +383,7 @@ fn run_shard<R: ThresholdRule>(
     seed: u64,
     round: u64,
 ) {
-    let g = system.graph();
-    let speeds = system.speeds();
+    let g = graph;
     let k = class_weights.len();
     let base = range.start;
     let mut rng = rng_for_shard(seed, round, KERNEL_STREAM, shard as u64);

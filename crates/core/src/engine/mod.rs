@@ -17,6 +17,7 @@
 //! per-protocol surface is one threshold rule — over the samplers of
 //! [`sampling`].
 
+pub mod dynamic;
 pub mod kernel;
 pub mod parallel;
 pub mod recorder;

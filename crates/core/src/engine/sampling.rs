@@ -75,6 +75,11 @@ pub fn binomial_inverse_cdf(n: u64, p: f64, u: f64) -> u64 {
 /// Exact inverse-transform walk ([`binomial_inverse_cdf`]) for means up to
 /// [`NORMAL_APPROX_THRESHOLD`]; clamped rounded normal beyond.
 pub fn sample_binomial(n: u64, p: f64, rng: &mut StdRng) -> u64 {
+    // A NaN `p` passes every range guard below (all comparisons are
+    // false) and would fall through to the CDF walk, where only a
+    // debug_assert stands between it and a garbage count in release
+    // builds. Reject non-finite inputs loudly instead.
+    assert!(p.is_finite(), "binomial probability must be finite, got {p}");
     if n == 0 || p <= 0.0 {
         return 0;
     }
@@ -137,7 +142,18 @@ pub fn sample_multinomial(count: u64, probs: &[f64], out: &mut Vec<u64>, rng: &m
         if remaining == 0 {
             break;
         }
-        let cond = (q / rem_prob).min(1.0);
+        // Guard the `1 − Σp` renormalization edge: when Σprobs reaches 1
+        // (e.g. a re-scatter over all live neighbors) the running
+        // remainder can land at 0 — or marginally below it under
+        // floating-point cancellation — and the naive `q / rem_prob`
+        // would hand a non-finite or negative conditional probability to
+        // the binomial sampler. In that limit every remaining draw
+        // belongs to the current destination, so the conditional is 1.
+        let cond = if rem_prob > 0.0 {
+            (q / rem_prob).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
         let moved = sample_binomial(remaining, cond, rng);
         if moved > 0 {
             *slot = moved;
@@ -147,6 +163,42 @@ pub fn sample_multinomial(count: u64, probs: &[f64], out: &mut Vec<u64>, rng: &m
         rem_prob -= q;
     }
     total
+}
+
+/// Samples `Poisson(lambda)` — the per-round arrival totals of the
+/// dynamic-scenario layer.
+///
+/// Knuth's product-of-uniforms method below [`NORMAL_APPROX_THRESHOLD`]
+/// (its cost is O(λ), fine for small means); a clamped rounded normal
+/// beyond, mirroring the binomial sampler's documented substitution (at
+/// those means the relative error is far below protocol run-to-run
+/// variance).
+///
+/// # Panics
+///
+/// If `lambda` is negative or non-finite.
+pub fn sample_poisson(lambda: f64, rng: &mut StdRng) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "Poisson rate must be finite and non-negative, got {lambda}"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > NORMAL_APPROX_THRESHOLD {
+        let x = lambda + lambda.sqrt() * sample_standard_normal(rng);
+        // 10σ above the mean carries ~no mass; the clamp only guards the
+        // normal tail.
+        return x.round().clamp(0.0, lambda + 10.0 * lambda.sqrt()) as u64;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0u64;
+    let mut prod: f64 = rng.gen_range(0.0..1.0);
+    while prod > limit {
+        k += 1;
+        prod *= rng.gen_range(0.0..1.0);
+    }
+    k
 }
 
 #[cfg(test)]
@@ -288,6 +340,76 @@ mod tests {
             }
             assert!(total <= 3 * ((count as f64 * q).ceil() as u64 * 2 + 200));
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "binomial probability must be finite")]
+    fn binomial_rejects_nan_probability() {
+        // Regression: NaN slipped past every range guard (`p <= 0`,
+        // `p >= 1`, `p > 0.5` are all false for NaN) into the CDF walk,
+        // where release builds produced a garbage count. Now it panics
+        // deterministically.
+        let mut rng = StdRng::seed_from_u64(1);
+        sample_binomial(10, f64::NAN, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "binomial probability must be finite")]
+    fn binomial_rejects_infinite_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        sample_binomial(10, f64::INFINITY, &mut rng);
+    }
+
+    #[test]
+    fn multinomial_survives_probabilities_summing_to_one() {
+        // The `1 − Σp` renormalization edge: with Σprobs = 1 exactly, the
+        // running remainder hits 0 (or dips marginally negative under
+        // cancellation) at the last destination. The conditional there
+        // must resolve to 1 — every remaining draw lands — rather than
+        // dividing by a non-positive remainder and feeding NaN to the
+        // binomial sampler.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut out = Vec::new();
+        for probs in [
+            vec![0.25f64, 0.25, 0.25, 0.25],
+            vec![0.3f64, 0.3, 0.4],
+            // Sums to 1.0 only after cancellation error accumulates.
+            vec![0.1f64; 10],
+            vec![1.0f64],
+        ] {
+            for _ in 0..200 {
+                let total = sample_multinomial(64, &probs, &mut out, &mut rng);
+                assert_eq!(total, 64, "all draws must land when Σp = 1");
+                assert_eq!(out.iter().sum::<u64>(), 64);
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_edge_cases_and_mean() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+        // Small-mean regime (Knuth walk).
+        let trials = 40_000;
+        let lambda = 3.5;
+        let sum: u64 = (0..trials).map(|_| sample_poisson(lambda, &mut rng)).sum();
+        let mean = sum as f64 / trials as f64;
+        let sd = (lambda / trials as f64).sqrt();
+        assert!((mean - lambda).abs() < 5.0 * sd, "mean {mean} vs {lambda}");
+        // Large-mean regime (normal approximation).
+        let lambda = 400.0;
+        let trials = 4000;
+        let sum: u64 = (0..trials).map(|_| sample_poisson(lambda, &mut rng)).sum();
+        let mean = sum as f64 / trials as f64;
+        let sd = (lambda / trials as f64).sqrt();
+        assert!((mean - lambda).abs() < 5.0 * sd, "mean {mean} vs {lambda}");
+    }
+
+    #[test]
+    #[should_panic(expected = "Poisson rate must be finite")]
+    fn poisson_rejects_nan_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        sample_poisson(f64::NAN, &mut rng);
     }
 
     #[test]

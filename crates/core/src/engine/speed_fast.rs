@@ -173,7 +173,8 @@ impl<'a> SpeedFastSim<'a> {
         let (class_weights, counts) = self.state.kernel_view();
         let totals = match self.rule {
             SpeedFastRule::Alg2 => self.kernel.step(
-                self.system,
+                self.system.graph(),
+                self.system.speeds(),
                 self.alpha,
                 &RelaxedThreshold,
                 class_weights,
@@ -183,7 +184,8 @@ impl<'a> SpeedFastSim<'a> {
                 self.threads,
             ),
             SpeedFastRule::Bhs => self.kernel.step(
-                self.system,
+                self.system.graph(),
+                self.system.speeds(),
                 self.alpha,
                 &OwnWeightThreshold,
                 class_weights,

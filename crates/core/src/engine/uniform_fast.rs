@@ -207,7 +207,8 @@ impl<'a> UniformFastSim<'a> {
     /// Executes one round; returns the number of migrations.
     pub fn step(&mut self) -> u64 {
         let totals = self.kernel.step(
-            self.system,
+            self.system.graph(),
+            self.system.speeds(),
             self.alpha,
             &RelaxedThreshold,
             &UNIT_CLASS,

@@ -273,7 +273,8 @@ impl<'a> WeightedFastSim<'a> {
     pub fn step(&mut self) -> WeightedStepReport {
         let (class_weights, counts) = self.state.kernel_view();
         let totals = self.kernel.step(
-            self.system,
+            self.system.graph(),
+            self.system.speeds(),
             self.alpha,
             &RelaxedThreshold,
             class_weights,

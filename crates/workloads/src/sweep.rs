@@ -22,6 +22,17 @@
 //! until=nash,quiescent:50,psi0:100   trials=5   max-rounds=100000
 //! ```
 //!
+//! The dynamic-scenario axes (all default to `none`, which keeps the
+//! classic static run) select the event layer of
+//! [`slb_core::engine::dynamic`]:
+//!
+//! ```text
+//! arrivals=none,poisson:0.5,batch:64:10
+//! completions=none,rate:0.05,count:32
+//! churn=none,rate:0.02
+//! speed-dyn=none,drift:0.1,shock:150:0.25,feedback:0.2
+//! ```
+//!
 //! Every parsed value renders back to its canonical token via the
 //! `grid_label` functions, so sweep artifacts (CSV rows) are
 //! round-trippable into specs.
@@ -29,6 +40,9 @@
 use crate::placement::Placement;
 use crate::speeds::SpeedDistribution;
 use crate::weights::WeightDistribution;
+use slb_core::engine::dynamic::{
+    ArrivalProcess, ChurnProcess, CompletionProcess, DynamicConfig, SpeedDynamics,
+};
 use slb_graphs::generators::Family;
 use std::fmt;
 
@@ -186,12 +200,36 @@ pub struct CellSpec {
     pub protocol: ProtocolKind,
     /// Stop rule.
     pub stop: StopRule,
+    /// Task arrivals (`None` keeps the static run).
+    pub arrivals: Option<ArrivalProcess>,
+    /// Task completions (`None` keeps the static run).
+    pub completions: Option<CompletionProcess>,
+    /// Node churn (`None` keeps the static run).
+    pub churn: Option<ChurnProcess>,
+    /// Speed dynamics (`None` keeps the static run).
+    pub speed_dyn: Option<SpeedDynamics>,
 }
 
 impl CellSpec {
     /// Whether the cell's tasks are uniform (unit weights).
     pub fn is_uniform_tasks(&self) -> bool {
         self.weights == WeightDistribution::Unit
+    }
+
+    /// Whether any dynamic axis is active (the cell runs on the dynamic
+    /// engine for a fixed horizon instead of to a stop rule).
+    pub fn is_dynamic(&self) -> bool {
+        self.dynamic_config().is_dynamic()
+    }
+
+    /// The cell's event layer, for [`slb_core::engine::dynamic::DynamicSim`].
+    pub fn dynamic_config(&self) -> DynamicConfig {
+        DynamicConfig {
+            arrivals: self.arrivals,
+            completions: self.completions,
+            churn: self.churn,
+            speed_dynamics: self.speed_dyn,
+        }
     }
 }
 
@@ -212,6 +250,14 @@ pub struct SweepSpec {
     pub protocols: Vec<ProtocolKind>,
     /// Stop-rule axis.
     pub stops: Vec<StopRule>,
+    /// Arrival-process axis (`None` = static).
+    pub arrivals: Vec<Option<ArrivalProcess>>,
+    /// Completion-process axis (`None` = static).
+    pub completions: Vec<Option<CompletionProcess>>,
+    /// Churn axis (`None` = static).
+    pub churns: Vec<Option<ChurnProcess>>,
+    /// Speed-dynamics axis (`None` = static).
+    pub speed_dyns: Vec<Option<SpeedDynamics>>,
     /// Trials per cell.
     pub trials: usize,
     /// Round budget per trial.
@@ -228,6 +274,10 @@ impl Default for SweepSpec {
             placements: vec![Placement::AllOnNode(0)],
             protocols: vec![ProtocolKind::Alg1],
             stops: vec![StopRule::Nash],
+            arrivals: vec![None],
+            completions: vec![None],
+            churns: vec![None],
+            speed_dyns: vec![None],
             trials: 3,
             max_rounds: 200_000,
         }
@@ -280,6 +330,10 @@ impl SweepSpec {
                 "placement" => spec.placements = parse_all(&list, parse_placement)?,
                 "protocol" => spec.protocols = parse_all(&list, ProtocolKind::parse)?,
                 "until" => spec.stops = parse_all(&list, StopRule::parse)?,
+                "arrivals" => spec.arrivals = parse_all(&list, parse_arrivals)?,
+                "completions" => spec.completions = parse_all(&list, parse_completions)?,
+                "churn" => spec.churns = parse_all(&list, parse_churn)?,
+                "speed-dyn" => spec.speed_dyns = parse_all(&list, parse_speed_dyn)?,
                 "trials" => {
                     spec.trials = parse_single(key, &list)?.parse().map_err(|_| {
                         SweepParseError::new(format!("invalid trials `{}`", list[0]))
@@ -299,7 +353,8 @@ impl SweepSpec {
                 other => {
                     return Err(SweepParseError::new(format!(
                         "unknown grid key `{other}` (use graph|tasks-per-node|speeds|weights|\
-                         placement|protocol|until|trials|max-rounds)"
+                         placement|protocol|until|arrivals|completions|churn|speed-dyn|trials|\
+                         max-rounds)"
                     )))
                 }
             }
@@ -317,11 +372,17 @@ impl SweepSpec {
             * self.placements.len()
             * self.protocols.len()
             * self.stops.len()
+            * self.arrivals.len()
+            * self.completions.len()
+            * self.churns.len()
+            * self.speed_dyns.len()
     }
 
     /// The cartesian product of the axes, in a stable nesting order
-    /// (graph outermost, stop rule innermost). Cell indices — and hence
-    /// the per-cell seeds derived from them — follow this order.
+    /// (graph outermost, speed dynamics innermost). Cell indices — and
+    /// hence the per-cell seeds derived from them — follow this order;
+    /// the dynamic axes nest inside the stop rule so grids that leave
+    /// them at their `none` defaults keep their historical indices.
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::with_capacity(self.cell_count());
         for &graph in &self.graphs {
@@ -331,15 +392,27 @@ impl SweepSpec {
                         for &placement in &self.placements {
                             for &protocol in &self.protocols {
                                 for &stop in &self.stops {
-                                    out.push(CellSpec {
-                                        graph,
-                                        tasks_per_node,
-                                        speeds,
-                                        weights,
-                                        placement,
-                                        protocol,
-                                        stop,
-                                    });
+                                    for &arrivals in &self.arrivals {
+                                        for &completions in &self.completions {
+                                            for &churn in &self.churns {
+                                                for &speed_dyn in &self.speed_dyns {
+                                                    out.push(CellSpec {
+                                                        graph,
+                                                        tasks_per_node,
+                                                        speeds,
+                                                        weights,
+                                                        placement,
+                                                        protocol,
+                                                        stop,
+                                                        arrivals,
+                                                        completions,
+                                                        churn,
+                                                        speed_dyn,
+                                                    });
+                                                }
+                                            }
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -618,6 +691,162 @@ pub fn placement_grid_label(placement: Placement) -> String {
     }
 }
 
+/// Parses an arrivals token: `none`, `poisson:RATE`, `batch:SIZE:PERIOD`.
+pub fn parse_arrivals(token: &str) -> Result<Option<ArrivalProcess>, SweepParseError> {
+    if token == "none" {
+        return Ok(None);
+    }
+    let bad = || SweepParseError::new(format!("invalid arrivals `{token}`"));
+    if let Some(rest) = token.strip_prefix("poisson:") {
+        let rate: f64 = rest.parse().map_err(|_| bad())?;
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(SweepParseError::new(
+                "poisson arrival rate must be finite and positive".into(),
+            ));
+        }
+        return Ok(Some(ArrivalProcess::Poisson { rate }));
+    }
+    if let Some(rest) = token.strip_prefix("batch:") {
+        let (size, period) = rest.split_once(':').ok_or_else(bad)?;
+        let size: u64 = size.parse().map_err(|_| bad())?;
+        let period: u64 = period.parse().map_err(|_| bad())?;
+        if size == 0 || period == 0 {
+            return Err(SweepParseError::new(
+                "batch size and period must be positive".into(),
+            ));
+        }
+        return Ok(Some(ArrivalProcess::Batch { size, period }));
+    }
+    Err(SweepParseError::new(format!(
+        "unknown arrivals `{token}` (use none|poisson:RATE|batch:SIZE:PERIOD)"
+    )))
+}
+
+/// The canonical grid token of an arrival process.
+pub fn arrivals_grid_label(process: Option<ArrivalProcess>) -> String {
+    match process {
+        None => "none".to_string(),
+        Some(ArrivalProcess::Poisson { rate }) => format!("poisson:{rate}"),
+        Some(ArrivalProcess::Batch { size, period }) => format!("batch:{size}:{period}"),
+    }
+}
+
+/// Parses a completions token: `none`, `rate:MU`, `count:C`.
+pub fn parse_completions(token: &str) -> Result<Option<CompletionProcess>, SweepParseError> {
+    if token == "none" {
+        return Ok(None);
+    }
+    let bad = || SweepParseError::new(format!("invalid completions `{token}`"));
+    if let Some(rest) = token.strip_prefix("rate:") {
+        let mu: f64 = rest.parse().map_err(|_| bad())?;
+        if !(mu.is_finite() && mu > 0.0 && mu <= 1.0) {
+            return Err(SweepParseError::new(
+                "completion rate must lie in (0, 1]".into(),
+            ));
+        }
+        return Ok(Some(CompletionProcess::Rate { mu }));
+    }
+    if let Some(rest) = token.strip_prefix("count:") {
+        let count: u64 = rest.parse().map_err(|_| bad())?;
+        if count == 0 {
+            return Err(SweepParseError::new(
+                "completion count must be positive".into(),
+            ));
+        }
+        return Ok(Some(CompletionProcess::PerRound { count }));
+    }
+    Err(SweepParseError::new(format!(
+        "unknown completions `{token}` (use none|rate:MU|count:C)"
+    )))
+}
+
+/// The canonical grid token of a completion process.
+pub fn completions_grid_label(process: Option<CompletionProcess>) -> String {
+    match process {
+        None => "none".to_string(),
+        Some(CompletionProcess::Rate { mu }) => format!("rate:{mu}"),
+        Some(CompletionProcess::PerRound { count }) => format!("count:{count}"),
+    }
+}
+
+/// Parses a churn token: `none`, `rate:P`.
+pub fn parse_churn(token: &str) -> Result<Option<ChurnProcess>, SweepParseError> {
+    if token == "none" {
+        return Ok(None);
+    }
+    if let Some(rest) = token.strip_prefix("rate:") {
+        let rate: f64 = rest
+            .parse()
+            .map_err(|_| SweepParseError::new(format!("invalid churn `{token}`")))?;
+        if !(rate.is_finite() && rate > 0.0 && rate <= 1.0) {
+            return Err(SweepParseError::new("churn rate must lie in (0, 1]".into()));
+        }
+        return Ok(Some(ChurnProcess { rate }));
+    }
+    Err(SweepParseError::new(format!(
+        "unknown churn `{token}` (use none|rate:P)"
+    )))
+}
+
+/// The canonical grid token of a churn process.
+pub fn churn_grid_label(process: Option<ChurnProcess>) -> String {
+    match process {
+        None => "none".to_string(),
+        Some(ChurnProcess { rate }) => format!("rate:{rate}"),
+    }
+}
+
+/// Parses a speed-dynamics token: `none`, `drift:SIGMA`,
+/// `shock:ROUND:FRAC`, `feedback:ETA`.
+pub fn parse_speed_dyn(token: &str) -> Result<Option<SpeedDynamics>, SweepParseError> {
+    if token == "none" {
+        return Ok(None);
+    }
+    let bad = || SweepParseError::new(format!("invalid speed-dyn `{token}`"));
+    if let Some(rest) = token.strip_prefix("drift:") {
+        let sigma: f64 = rest.parse().map_err(|_| bad())?;
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(SweepParseError::new(
+                "drift sigma must be finite and positive".into(),
+            ));
+        }
+        return Ok(Some(SpeedDynamics::Drift { sigma }));
+    }
+    if let Some(rest) = token.strip_prefix("shock:") {
+        let (round, frac) = rest.split_once(':').ok_or_else(bad)?;
+        let round: u64 = round.parse().map_err(|_| bad())?;
+        let fraction: f64 = frac.parse().map_err(|_| bad())?;
+        if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
+            return Err(SweepParseError::new(
+                "shock fraction must lie in (0, 1]".into(),
+            ));
+        }
+        return Ok(Some(SpeedDynamics::Shock { round, fraction }));
+    }
+    if let Some(rest) = token.strip_prefix("feedback:") {
+        let eta: f64 = rest.parse().map_err(|_| bad())?;
+        if !(eta.is_finite() && eta > 0.0 && eta <= 1.0) {
+            return Err(SweepParseError::new(
+                "feedback eta must lie in (0, 1]".into(),
+            ));
+        }
+        return Ok(Some(SpeedDynamics::Feedback { eta }));
+    }
+    Err(SweepParseError::new(format!(
+        "unknown speed-dyn `{token}` (use none|drift:SIGMA|shock:ROUND:FRAC|feedback:ETA)"
+    )))
+}
+
+/// The canonical grid token of a speed-dynamics mode.
+pub fn speed_dyn_grid_label(dynamics: Option<SpeedDynamics>) -> String {
+    match dynamics {
+        None => "none".to_string(),
+        Some(SpeedDynamics::Drift { sigma }) => format!("drift:{sigma}"),
+        Some(SpeedDynamics::Shock { round, fraction }) => format!("shock:{round}:{fraction}"),
+        Some(SpeedDynamics::Feedback { eta }) => format!("feedback:{eta}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -740,6 +969,21 @@ mod tests {
         for token in ["nash", "quiescent:17", "psi0:12.5"] {
             assert_eq!(StopRule::parse(token).unwrap().grid_label(), token);
         }
+        for token in ["none", "poisson:0.5", "batch:64:10"] {
+            assert_eq!(arrivals_grid_label(parse_arrivals(token).unwrap()), token);
+        }
+        for token in ["none", "rate:0.05", "count:32"] {
+            assert_eq!(
+                completions_grid_label(parse_completions(token).unwrap()),
+                token
+            );
+        }
+        for token in ["none", "rate:0.02"] {
+            assert_eq!(churn_grid_label(parse_churn(token).unwrap()), token);
+        }
+        for token in ["none", "drift:0.1", "shock:150:0.25", "feedback:0.2"] {
+            assert_eq!(speed_dyn_grid_label(parse_speed_dyn(token).unwrap()), token);
+        }
         for p in ProtocolKind::ALL {
             assert_eq!(ProtocolKind::parse(p.grid_label()).unwrap(), p);
         }
@@ -778,6 +1022,27 @@ mod tests {
             &["placement=везде"],
             &["tasks-per-node=0"],
             &["graph="],
+            &["arrivals=sometimes"],
+            &["arrivals=poisson:-1"],
+            &["arrivals=poisson:inf"],
+            &["arrivals=batch:0:5"],
+            &["arrivals=batch:64:0"],
+            &["arrivals=batch:64"],
+            &["completions=rate:0"],
+            &["completions=rate:1.5"],
+            &["completions=count:0"],
+            &["completions=never"],
+            &["churn=rate:0"],
+            &["churn=rate:2"],
+            &["churn=often"],
+            &["speed-dyn=drift:0"],
+            &["speed-dyn=drift:nan"],
+            &["speed-dyn=shock:10:0"],
+            &["speed-dyn=shock:10:1.5"],
+            &["speed-dyn=shock:10"],
+            &["speed-dyn=feedback:0"],
+            &["speed-dyn=feedback:1.1"],
+            &["speed-dyn=jitter"],
         ] {
             let err = SweepSpec::parse(bad).unwrap_err();
             assert!(
@@ -785,6 +1050,41 @@ mod tests {
                 "token {bad:?} → {err}"
             );
         }
+    }
+
+    #[test]
+    fn dynamic_axes_default_to_none_and_nest_innermost() {
+        // A grid that never names the dynamic keys produces the same
+        // cells (and hence per-cell seeds) it always did.
+        let spec = SweepSpec::parse(&["protocol=alg1,bhs"]).unwrap();
+        assert_eq!(spec.cell_count(), 2);
+        assert!(spec.cells().iter().all(|c| !c.is_dynamic()));
+
+        let spec = SweepSpec::parse(&[
+            "protocol=alg2",
+            "arrivals=poisson:0.5",
+            "completions=rate:0.05,count:8",
+            "churn=rate:0.02",
+            "speed-dyn=none,drift:0.1",
+        ])
+        .unwrap();
+        assert_eq!(spec.cell_count(), 4);
+        let cells = spec.cells();
+        assert!(cells.iter().all(|c| c.is_dynamic()));
+        // speed-dyn is the innermost axis.
+        assert_eq!(cells[0].speed_dyn, None);
+        assert_eq!(cells[1].speed_dyn, Some(SpeedDynamics::Drift { sigma: 0.1 }));
+        assert_eq!(
+            cells[0].completions,
+            Some(CompletionProcess::Rate { mu: 0.05 })
+        );
+        assert_eq!(
+            cells[2].completions,
+            Some(CompletionProcess::PerRound { count: 8 })
+        );
+        let cfg = cells[1].dynamic_config();
+        assert_eq!(cfg.arrivals, Some(ArrivalProcess::Poisson { rate: 0.5 }));
+        assert_eq!(cfg.churn, Some(ChurnProcess { rate: 0.02 }));
     }
 
     #[test]

@@ -140,6 +140,18 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Batch-size hint for [`Bencher::iter_batched`] (API parity; the shim
+/// always runs one setup per measured call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine inputs (criterion batches many per allocation).
+    SmallInput,
+    /// Large routine inputs (criterion batches few).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
 /// Times the closure handed to it by a benchmark function.
 #[derive(Debug)]
 pub struct Bencher {
@@ -174,6 +186,53 @@ impl Bencher {
             }
             self.samples_ns
                 .push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if run_start.elapsed() > self.budget.mul_f64(2.0) {
+                break; // Slow benchmark: settle for fewer samples.
+            }
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`, timing only the
+    /// routine (API parity with criterion's `iter_batched`; the shim runs
+    /// one setup per measured call regardless of `BatchSize`).
+    ///
+    /// Use this when the routine consumes or mutates its input and
+    /// re-preparing it inside `iter` would pollute the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        // Warm-up sizes batches by *wall* time (setup included) so the
+        // total run respects the budget, while samples record routine
+        // time only.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.budget.div_f64(5.0) {
+            let input = setup();
+            black_box(routine(input));
+            warmup_iters += 1;
+            if warmup_iters >= 10_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let batch = ((self.budget.as_secs_f64() / self.sample_size as f64 / per_iter.max(1e-9))
+            .ceil() as u64)
+            .clamp(1, 1_000_000);
+
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut acc = Duration::ZERO;
+            for _ in 0..batch {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                acc += t.elapsed();
+            }
+            self.samples_ns
+                .push(acc.as_nanos() as f64 / batch as f64);
             if run_start.elapsed() > self.budget.mul_f64(2.0) {
                 break; // Slow benchmark: settle for fewer samples.
             }

@@ -51,6 +51,14 @@ SWEEP GRID (positional key=a,b,c tokens; omitted keys use the default):
   placement=hot,node:V,slowest,random,proportional,round-robin
   protocol=alg1,alg2,bhs,diffusion,best-response            (default alg1)
   until=nash,quiescent:K,psi0:X                             (default nash)
+  arrivals=none,poisson:RATE,batch:SIZE:PERIOD              (default none)
+  completions=none,rate:MU,count:C                          (default none)
+  churn=none,rate:P                                         (default none)
+  speed-dyn=none,drift:SIGMA,shock:ROUND:FRAC,feedback:ETA  (default none)
+                     any non-none dynamic axis runs the cell on the
+                     dynamic engine (alg1|alg2|bhs only) for exactly
+                     max-rounds rounds, reporting the time-averaged
+                     Nash gap and post-shock recovery rounds
 
 SWEEP OPTIONS:
   --trials <N>       trials per cell                        (default 3)

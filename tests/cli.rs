@@ -180,9 +180,10 @@ const GOLDEN_SWEEP_ARGS: &[&str] = &[
 ];
 
 const SWEEP_CSV_HEADER: &str = "cell,graph,n,m,protocol,engine,speeds,weights,placement,until,\
-                                trials,base_seed,max_rounds,reached_fraction,rounds_mean,\
-                                rounds_std,rounds_min,rounds_median,rounds_max,migrations_mean,\
-                                psi0_final_mean";
+                                arrivals,completions,churn,speed-dyn,trials,base_seed,max_rounds,\
+                                reached_fraction,rounds_mean,rounds_std,rounds_min,rounds_median,\
+                                rounds_max,migrations_mean,psi0_final_mean,nash_gap_tavg_mean,\
+                                recovery_rounds_mean";
 
 #[test]
 fn sweep_emits_exact_csv_schema() {
@@ -250,9 +251,82 @@ fn golden_sweep_covers_all_protocols_and_task_modes() {
     // The row carries real measurements: 2 trials and a reached fraction
     // of 1, not the zeroed placeholder it used to be.
     let fields: Vec<&str> = alg1_weighted.split(',').collect();
-    assert_eq!(fields[10], "2", "trials column: {alg1_weighted}");
-    assert_eq!(fields[13], "1", "reached_fraction column: {alg1_weighted}");
-    assert_ne!(fields[19], "0", "migrations_mean column: {alg1_weighted}");
+    assert_eq!(fields[14], "2", "trials column: {alg1_weighted}");
+    assert_eq!(fields[17], "1", "reached_fraction column: {alg1_weighted}");
+    assert_ne!(fields[23], "0", "migrations_mean column: {alg1_weighted}");
+    // Static cells carry the `none` dynamic axes and zeroed steady-state
+    // metrics.
+    assert_eq!(&fields[10..14], &["none", "none", "none", "none"]);
+    assert_eq!(fields[25], "0", "nash_gap_tavg column: {alg1_weighted}");
+    assert_eq!(fields[26], "0", "recovery_rounds column: {alg1_weighted}");
+}
+
+/// The pinned dynamic-sweep invocation behind
+/// `tests/golden/sweep_dynamic.csv`: arrivals × completions × churn ×
+/// {drift, shock} on both threshold rules, run for a fixed horizon.
+const GOLDEN_DYNAMIC_SWEEP_ARGS: &[&str] = &[
+    "sweep",
+    "graph=ring:16",
+    "tasks-per-node=8",
+    "protocol=alg1,alg2",
+    "arrivals=poisson:0.5",
+    "completions=rate:0.05",
+    "churn=rate:0.02",
+    "speed-dyn=drift:0.1,shock:150:0.25",
+    "--trials",
+    "2",
+    "--max-rounds",
+    "300",
+    "--seed",
+    "7",
+];
+
+#[test]
+fn dynamic_sweep_matches_golden_file_at_any_thread_count() {
+    let golden = include_str!("golden/sweep_dynamic.csv");
+    for threads in ["1", "8", "64"] {
+        let mut args = GOLDEN_DYNAMIC_SWEEP_ARGS.to_vec();
+        args.extend(["--threads", threads]);
+        let out = slb(&args);
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        assert_eq!(
+            stdout(&out),
+            golden,
+            "dynamic sweep CSV at --threads {threads} diverges from \
+             tests/golden/sweep_dynamic.csv (same spec + seed must be byte-identical)"
+        );
+        assert!(
+            stderr(&out).is_empty(),
+            "unexpected stderr: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn golden_dynamic_sweep_carries_steady_state_metrics() {
+    let golden = include_str!("golden/sweep_dynamic.csv");
+    assert_eq!(golden.lines().next().unwrap(), SWEEP_CSV_HEADER);
+    // 2 protocols × 2 speed-dyn values, all on the dynamic engine.
+    assert_eq!(golden.lines().count(), 5);
+    assert_eq!(golden.matches(",dynamic,").count(), 4);
+    for line in golden.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields[10], "poisson:0.5", "row: {line}");
+        assert_eq!(fields[11], "rate:0.05", "row: {line}");
+        assert_eq!(fields[12], "rate:0.02", "row: {line}");
+        // Fixed horizon: every trial runs exactly max-rounds and counts
+        // as reached.
+        assert_eq!(fields[17], "1", "reached_fraction: {line}");
+        assert_eq!(fields[18], "300", "rounds_mean: {line}");
+        // The steady-state gap is open under sustained arrivals.
+        assert_ne!(fields[25], "0", "nash_gap_tavg_mean: {line}");
+        if fields[13].starts_with("shock:") {
+            assert_ne!(fields[26], "0", "recovery_rounds_mean: {line}");
+        } else {
+            assert_eq!(fields[26], "0", "recovery_rounds_mean: {line}");
+        }
+    }
 }
 
 #[test]
@@ -276,6 +350,19 @@ fn sweep_rejects_malformed_grids_with_exit_one() {
         (&["sweep", "speeds=two-class:0:0.5"], "fast speed"),
         (&["sweep", "speeds=integer:0"], "at least 1"),
         (&["sweep", "weights=power-law:0:0.1"], "alpha"),
+        // Dynamic-axis grammar errors.
+        (&["sweep", "arrivals=sometimes"], "unknown arrivals"),
+        (&["sweep", "arrivals=poisson:-1"], "arrival rate"),
+        (&["sweep", "arrivals=batch:0:5"], "batch size"),
+        (&["sweep", "completions=rate:1.5"], "completion rate"),
+        (&["sweep", "churn=rate:2"], "churn rate"),
+        (&["sweep", "speed-dyn=drift:0"], "drift sigma"),
+        (&["sweep", "speed-dyn=shock:10:1.5"], "shock fraction"),
+        // Sequential protocols have no dynamic engine.
+        (
+            &["sweep", "protocol=diffusion", "arrivals=poisson:0.5"],
+            "no dynamic-scenario engine",
+        ),
         // Misspelled flags are rejected, not silently ignored.
         (
             &["sweep", "graph=ring:4", "--seeed", "7"],
