@@ -239,7 +239,9 @@ mod tests {
         );
         // A genuinely slower late-start series is still caught, and the
         // reported round is in the series' own (absolute) round domain.
-        let slow: Vec<(u64, f64)> = (0..=40).map(|i| (500 + i, 100.0 * 0.99f64.powf(i as f64))).collect();
+        let slow: Vec<(u64, f64)> = (0..=40)
+            .map(|i| (500 + i, 100.0 * 0.99f64.powf(i as f64)))
+            .collect();
         let v = envelope_violation(&slow, gamma, 1e-9, 0.01).unwrap();
         assert!(v > 500, "violation round {v} must be after the anchor");
     }

@@ -43,7 +43,7 @@ use slb_core::equilibrium::Threshold;
 use slb_core::model::System;
 use slb_core::potential;
 use slb_core::protocol::{Alpha, BestResponse, Diffusion};
-use slb_core::rng::derive_seed;
+use slb_core::rng::{derive_seed, streams};
 use slb_workloads::placement::Placement;
 use slb_workloads::scenario;
 use slb_workloads::sweep::{
@@ -406,11 +406,7 @@ fn drive<E: CellEngine>(engine: &mut E, stop: StopRule, max_rounds: u64) -> RawT
 /// layer + kernel, tracking the per-round Nash gap for the steady-state
 /// metrics. There is no stop rule — a system under load has nothing to
 /// converge *to*; the horizon itself is the experiment.
-fn run_dynamic(
-    sim: &mut DynamicSim,
-    threshold: Threshold,
-    max_rounds: u64,
-) -> RawTrial {
+fn run_dynamic(sim: &mut DynamicSim, threshold: Threshold, max_rounds: u64) -> RawTrial {
     let shock_round = match sim.config().speed_dynamics {
         Some(SpeedDynamics::Shock { round, .. }) if round < max_rounds => Some(round),
         _ => None,
@@ -476,8 +472,8 @@ fn run_trial(
     max_rounds: u64,
     shard_threads: usize,
 ) -> RawTrial {
-    let scenario_seed = derive_seed(trial_seed, 0, 0);
-    let sim_seed = derive_seed(trial_seed, 0, 1);
+    let scenario_seed = derive_seed(trial_seed, 0, streams::trial::SCENARIO);
+    let sim_seed = derive_seed(trial_seed, 0, streams::trial::SIM);
     let graph = cell.graph.build();
     let mut rng = StdRng::seed_from_u64(scenario_seed);
     let built = scenario::build(
@@ -1092,8 +1088,22 @@ mod tests {
             "trials=2",
             "max-rounds=150",
         ]);
-        let one = run_sweep(&spec, SweepConfig { base_seed: 4, threads: 1 }).unwrap();
-        let many = run_sweep(&spec, SweepConfig { base_seed: 4, threads: 8 }).unwrap();
+        let one = run_sweep(
+            &spec,
+            SweepConfig {
+                base_seed: 4,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let many = run_sweep(
+            &spec,
+            SweepConfig {
+                base_seed: 4,
+                threads: 8,
+            },
+        )
+        .unwrap();
         assert_eq!(one.to_csv(), many.to_csv());
         assert_eq!(one.to_json(), many.to_json());
     }
@@ -1119,10 +1129,7 @@ mod tests {
     #[test]
     fn validation_rejects_dynamic_sequential_protocols() {
         for protocol in ["diffusion", "best-response"] {
-            let spec = small_spec(&[
-                &format!("protocol={protocol}"),
-                "arrivals=poisson:0.5",
-            ]);
+            let spec = small_spec(&[&format!("protocol={protocol}"), "arrivals=poisson:0.5"]);
             let err = validate(&spec).unwrap_err();
             assert!(
                 err.to_string().contains("no dynamic-scenario engine"),

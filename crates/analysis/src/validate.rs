@@ -65,7 +65,7 @@ use slb_core::engine::{Simulation, StopCondition, StopReason};
 use slb_core::equilibrium::{self, Threshold};
 use slb_core::model::System;
 use slb_core::protocol::{Alpha, BestResponse, Diffusion};
-use slb_core::rng::derive_seed;
+use slb_core::rng::{derive_seed, streams};
 use slb_workloads::scenario;
 use slb_workloads::sweep::ProtocolKind;
 use slb_workloads::validate::{Regime, RowSpec, ValidateSpec};
@@ -280,8 +280,8 @@ fn run_trial(
     trial_seed: u64,
     shard_threads: usize,
 ) -> RawTrial {
-    let scenario_seed = derive_seed(trial_seed, 0, 0);
-    let sim_seed = derive_seed(trial_seed, 0, 1);
+    let scenario_seed = derive_seed(trial_seed, 0, streams::trial::SCENARIO);
+    let sim_seed = derive_seed(trial_seed, 0, streams::trial::SIM);
     let family = row.family.resolve(n).expect("validated rows resolve");
     let graph = family.build();
     let mut rng = StdRng::seed_from_u64(scenario_seed);
@@ -614,7 +614,7 @@ pub fn run_validate(
                 &fit_t,
                 1.0,
                 BOOTSTRAP_RESAMPLES,
-                derive_seed(config.base_seed, index as u64, 0xB007),
+                derive_seed(config.base_seed, index as u64, streams::analysis::BOOTSTRAP),
             );
             let (predicted, predicted_source) = predicted_exponent(row, spec.sizes[0]);
             let shape = predicted_shape(row, &spec.sizes);

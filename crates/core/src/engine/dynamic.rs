@@ -58,14 +58,17 @@ use rand::Rng;
 use slb_graphs::Graph;
 
 /// RNG stream of the arrival totals and their placement (the kernel owns
-/// stream 0 via the sharded derivation).
-pub const ARRIVAL_STREAM: u64 = 1;
-/// RNG stream of rate-based completion draws.
-pub const COMPLETION_STREAM: u64 = 2;
-/// RNG stream of churn toggles and orphan re-scattering.
-pub const CHURN_STREAM: u64 = 3;
-/// RNG stream of speed drift/shock draws.
-pub const SPEED_STREAM: u64 = 4;
+/// [`streams::round::KERNEL`](crate::rng::streams::round::KERNEL) via the
+/// sharded derivation). Defined in the central registry
+/// [`crate::rng::streams`]; re-exported here for the engine's callers.
+pub use crate::rng::streams::round::ARRIVAL as ARRIVAL_STREAM;
+/// RNG stream of churn toggles and orphan re-scattering (see
+/// [`crate::rng::streams`]).
+pub use crate::rng::streams::round::CHURN as CHURN_STREAM;
+/// RNG stream of rate-based completion draws (see [`crate::rng::streams`]).
+pub use crate::rng::streams::round::COMPLETION as COMPLETION_STREAM;
+/// RNG stream of speed drift/shock draws (see [`crate::rng::streams`]).
+pub use crate::rng::streams::round::SPEED as SPEED_STREAM;
 
 /// How new tasks enter the system, per round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -597,6 +600,10 @@ impl DynamicSim {
                 self.scratch_counts.clear();
                 for (i, &cell) in counts.iter().enumerate() {
                     let quota = take as f64 * cell as f64 / total as f64;
+                    // `quota` is finite and non-negative (`take ≤ total`),
+                    // so the only inexactness is the float division —
+                    // `.min(cell)` re-clamps it into the cell's range.
+                    #[allow(clippy::cast_possible_truncation)]
                     let base = (quota.floor() as u64).min(cell);
                     self.scratch_counts.push(base);
                     floors += base;
@@ -605,8 +612,10 @@ impl DynamicSim {
                     }
                 }
                 // Distribute the leftover to the largest fractional
-                // parts; ties break toward lower cell index.
-                fracs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+                // parts; ties break toward lower cell index. `total_cmp`
+                // is a total order, so no NaN unwrap is needed (and the
+                // fractional parts are finite by construction anyway).
+                fracs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
                 let mut leftover = take - floors;
                 for &(_, i) in &fracs {
                     if leftover == 0 {
@@ -659,7 +668,7 @@ impl DynamicSim {
         // independent uniform choices over the live nodes; the split
         // keeps placement cost `O(min(total, live))` so sparse Poisson
         // arrivals don't pay one binomial per node per round.
-        if (total as usize) <= live {
+        if total <= live as u64 {
             // Sparse regime: draw each task's node directly. Per-node
             // totals are accumulated before the class split so classes
             // are assigned in node order — placement stays a pure
@@ -815,7 +824,12 @@ mod tests {
                     sim.total_tasks(),
                 ));
             }
-            (log, (0..24).map(|v| sim.state().counts(v).to_vec()).collect::<Vec<_>>())
+            (
+                log,
+                (0..24)
+                    .map(|v| sim.state().counts(v).to_vec())
+                    .collect::<Vec<_>>(),
+            )
         };
         let (log1, counts1) = run(1);
         let (log8, counts8) = run(8);
@@ -852,7 +866,11 @@ mod tests {
             // Dead nodes hold nothing: churn re-scatters before the round.
             for v in 0..12 {
                 if !sim.alive()[v] {
-                    assert_eq!(sim.state().node_task_count(v), 0, "dead node {v} holds tasks");
+                    assert_eq!(
+                        sim.state().node_task_count(v),
+                        0,
+                        "dead node {v} holds tasks"
+                    );
                 }
             }
         }
@@ -890,7 +908,10 @@ mod tests {
     fn batch_arrivals_fire_on_the_period() {
         let sys = system(6, vec![1.0; 6], 0);
         let cfg = DynamicConfig {
-            arrivals: Some(ArrivalProcess::Batch { size: 30, period: 5 }),
+            arrivals: Some(ArrivalProcess::Batch {
+                size: 30,
+                period: 5,
+            }),
             ..DynamicConfig::default()
         };
         let mut sim = DynamicSim::new(
@@ -1032,7 +1053,10 @@ mod tests {
             assert!(sim.alpha >= 4.0 * s_max - 1e-9);
         }
         // Speeds actually moved.
-        assert!(sim.effective_speeds().iter().any(|&s| (s - 1.0).abs() > 1e-3));
+        assert!(sim
+            .effective_speeds()
+            .iter()
+            .any(|&s| (s - 1.0).abs() > 1e-3));
     }
 
     #[test]

@@ -64,7 +64,7 @@ use crate::engine::weighted_fast::ClassCountState;
 use crate::equilibrium::Threshold;
 use crate::model::SpeedVector;
 use crate::protocol::migration_probability;
-use crate::rng::rng_for_shard;
+use crate::rng::{rng_for_shard, streams};
 use slb_graphs::{Graph, NodeId};
 use std::ops::Range;
 
@@ -73,9 +73,6 @@ use std::ops::Range;
 /// every artifact, is identical at any thread count. 64 bounds the useful
 /// parallelism of one round and keeps per-shard scratch small.
 pub const ROUND_SHARDS: usize = 64;
-
-/// The RNG stream index the kernel draws from (per `(seed, round, shard)`).
-const KERNEL_STREAM: u64 = 0;
 
 /// The contiguous node range owned by `shard` out of [`ROUND_SHARDS`] over
 /// `n` nodes: `[s·n/S, (s+1)·n/S)`. Ranges partition `[0, n)` exactly;
@@ -386,7 +383,7 @@ fn run_shard<R: ThresholdRule>(
     let g = graph;
     let k = class_weights.len();
     let base = range.start;
-    let mut rng = rng_for_shard(seed, round, KERNEL_STREAM, shard as u64);
+    let mut rng = rng_for_shard(seed, round, streams::round::KERNEL, shard as u64);
     scratch.spill.clear();
     scratch.totals = StepTotals::default();
     for ii in range {
@@ -451,7 +448,10 @@ fn run_shard<R: ThresholdRule>(
             let thr = class_thresholds[c];
             // Classes at the loosest threshold reuse the shared
             // destination row as-is — always under a
-            // weight-independent rule; tighter classes filter it.
+            // weight-independent rule; tighter classes filter it. Both
+            // thresholds are copies out of `class_thresholds`, so the
+            // exact comparison is an identity test, not a tolerance.
+            #[allow(clippy::float_cmp)]
             let (nodes, probs): (&[usize], &[f64]) = if !R::CLASS_DEPENDENT || thr == min_thr {
                 (&scratch.dest_nodes, &scratch.dest_probs)
             } else {
@@ -476,6 +476,8 @@ fn run_shard<R: ThresholdRule>(
                         if (base..base + delta.len() / k).contains(&jj) {
                             delta[(jj - base) * k + c] += mv as i64;
                         } else {
+                            // Lossless: round entry asserts n·k ≤ u32::MAX.
+                            #[allow(clippy::cast_possible_truncation)]
                             scratch.spill.push(((jj * k + c) as u32, mv as i64));
                         }
                     }

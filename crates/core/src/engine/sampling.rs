@@ -50,6 +50,9 @@ pub fn binomial_inverse_cdf(n: u64, p: f64, u: f64) -> u64 {
     let sd = (n as f64 * p * (1.0 - p)).sqrt();
     // Hard cap at mean + 10·sd: the true mass beyond it is < 10⁻²⁰, so
     // reaching the cap means `u` lies above every representable CDF value.
+    // The cast is exact enough: the value is non-negative and `n.min`
+    // clamps it back into `0..=n` before use.
+    #[allow(clippy::cast_possible_truncation)]
     let cap = n.min((mean + 10.0 * sd).ceil() as u64 + 1);
     // pmf(0) = (1−p)^n, computed in log space to avoid underflow at k = 0.
     let mut pmf = ((n as f64) * (1.0 - p).ln()).exp();
@@ -79,7 +82,10 @@ pub fn sample_binomial(n: u64, p: f64, rng: &mut StdRng) -> u64 {
     // false) and would fall through to the CDF walk, where only a
     // debug_assert stands between it and a garbage count in release
     // builds. Reject non-finite inputs loudly instead.
-    assert!(p.is_finite(), "binomial probability must be finite, got {p}");
+    assert!(
+        p.is_finite(),
+        "binomial probability must be finite, got {p}"
+    );
     if n == 0 || p <= 0.0 {
         return 0;
     }
@@ -94,6 +100,8 @@ pub fn sample_binomial(n: u64, p: f64, rng: &mut StdRng) -> u64 {
     if mean > NORMAL_APPROX_THRESHOLD {
         let sd = (n as f64 * p * (1.0 - p)).sqrt();
         let x = mean + sd * sample_standard_normal(rng);
+        // The clamp pins `x` into `[0, n]` before the cast truncates.
+        #[allow(clippy::cast_possible_truncation)]
         return x.round().clamp(0.0, n as f64) as u64;
     }
     // pmf(0) cannot underflow here: with p ≤ 1/2, `−n·ln(1−p) ≤
@@ -188,7 +196,8 @@ pub fn sample_poisson(lambda: f64, rng: &mut StdRng) -> u64 {
     if lambda > NORMAL_APPROX_THRESHOLD {
         let x = lambda + lambda.sqrt() * sample_standard_normal(rng);
         // 10σ above the mean carries ~no mass; the clamp only guards the
-        // normal tail.
+        // normal tail (and pins the value non-negative before the cast).
+        #[allow(clippy::cast_possible_truncation)]
         return x.round().clamp(0.0, lambda + 10.0 * lambda.sqrt()) as u64;
     }
     let limit = (-lambda).exp();

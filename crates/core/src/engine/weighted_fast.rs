@@ -68,9 +68,9 @@ impl ClassCountState {
         let k = class_weights.len();
         let nodes = per_node.len();
         let mut counts = Vec::with_capacity(nodes * k);
-        for row in &per_node {
+        for row in per_node {
             assert_eq!(row.len(), k, "one count per class per node");
-            counts.extend_from_slice(row);
+            counts.extend_from_slice(&row);
         }
         ClassCountState {
             class_weights,

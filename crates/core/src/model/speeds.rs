@@ -217,6 +217,10 @@ impl SpeedVector {
     }
 
     /// Whether all speeds are equal (the "uniform speeds" case).
+    ///
+    /// Exact comparison on purpose: the extremes are copies of declared
+    /// speed values, and "uniform" means literally identical.
+    #[allow(clippy::float_cmp)]
     pub fn is_uniform(&self) -> bool {
         self.max == self.min
     }

@@ -204,6 +204,9 @@ impl TaskState {
             node_task_count[node] += 1;
         }
         Ok(TaskState {
+            // Lossless: every index was range-checked against `n` above,
+            // and node counts are capped at `u32::MAX` by `NodeId`.
+            #[allow(clippy::cast_possible_truncation)]
             assignment: assignment.iter().map(|&v| v as u32).collect(),
             node_weight,
             node_task_count,
@@ -300,7 +303,11 @@ impl TaskState {
         self.node_weight[to.index()] += w;
         self.node_task_count[from] -= 1;
         self.node_task_count[to.index()] += 1;
-        self.assignment[task.0] = to.index() as u32;
+        // Lossless: `to.index()` round-trips a `NodeId`'s inner `u32`.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            self.assignment[task.0] = to.index() as u32;
+        }
         self.moves_since_rebuild += 1;
         if self.moves_since_rebuild >= REBUILD_INTERVAL {
             self.rebuild_aggregates(system);

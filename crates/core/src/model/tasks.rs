@@ -183,7 +183,11 @@ impl TaskSet {
     }
 
     /// Whether all tasks have weight exactly 1.
+    ///
+    /// Exact comparison on purpose: "uniform" means every stored weight
+    /// is the literal value `1.0`, not approximately so.
     #[inline]
+    #[allow(clippy::float_cmp)]
     pub fn is_uniform(&self) -> bool {
         self.weights.is_none() || (self.min_weight == 1.0 && self.max_weight == 1.0)
     }

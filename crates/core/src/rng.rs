@@ -52,6 +52,75 @@ pub fn rng_for_shard(master: u64, round: u64, stream: u64, shard: u64) -> StdRng
     StdRng::seed_from_u64(derive_seed_sharded(master, round, stream, shard))
 }
 
+/// Central registry of every RNG stream id used in the workspace.
+///
+/// The determinism contract (artifacts byte-identical at any `--threads`)
+/// rests on distinct consumers of the same master seed drawing from
+/// distinct streams. Scattering the ids as magic integers made collisions
+/// a code-review problem; this module makes them a machine-checked one:
+///
+/// * every `derive_seed*` / `rng_for*` call site must name a constant
+///   from this registry (`slb-lint` rule `stream-literal`),
+/// * ids must be unique within their namespace (`slb-lint` rule
+///   `stream-duplicate`, plus the exhaustive property test below).
+///
+/// A *namespace* groups the streams that share a master-seed lineage;
+/// ids in different namespaces never mix because their masters differ
+/// (e.g. [`streams::trial::SIM`] derives the per-trial simulation seed that then
+/// serves as the master for the whole [`streams::round`] namespace).
+pub mod streams {
+    /// Per-round streams. Master = the trial's simulation seed, first
+    /// derivation axis = round index. [`round::KERNEL`] is consumed through the
+    /// *sharded* derivation, the event streams through the unsharded
+    /// one; the extra SplitMix64 finalization in
+    /// [`derive_seed_sharded`](super::derive_seed_sharded) keeps the two
+    /// families from aliasing even at equal ids.
+    pub mod round {
+        /// The sharded migration kernel
+        /// ([`rng_for_shard`](crate::rng::rng_for_shard)): one stream
+        /// per (round, shard) pair.
+        pub const KERNEL: u64 = 0;
+        /// Arrival totals and their placement (dynamic engine).
+        pub const ARRIVAL: u64 = 1;
+        /// Rate-based completion draws (dynamic engine).
+        pub const COMPLETION: u64 = 2;
+        /// Churn toggles and orphan re-scattering (dynamic engine).
+        pub const CHURN: u64 = 3;
+        /// Speed drift/shock draws (dynamic engine).
+        pub const SPEED: u64 = 4;
+        /// Every id in this namespace, for exhaustive collision tests.
+        pub const ALL: &[(&str, u64)] = &[
+            ("KERNEL", KERNEL),
+            ("ARRIVAL", ARRIVAL),
+            ("COMPLETION", COMPLETION),
+            ("CHURN", CHURN),
+            ("SPEED", SPEED),
+        ];
+    }
+
+    /// Per-trial split streams. Master = the trial seed handed out by
+    /// the sweep/validate runner (`derive_seed(base, cell, trial)`),
+    /// round axis pinned to 0.
+    pub mod trial {
+        /// Scenario construction: speeds/weights/placement sampling.
+        pub const SCENARIO: u64 = 0;
+        /// The simulation itself (becomes the master seed of the
+        /// [`round`](super::round) namespace).
+        pub const SIM: u64 = 1;
+        /// Every id in this namespace, for exhaustive collision tests.
+        pub const ALL: &[(&str, u64)] = &[("SCENARIO", SCENARIO), ("SIM", SIM)];
+    }
+
+    /// Post-hoc analysis streams. Master = the run's base seed, first
+    /// axis = report-row index.
+    pub mod analysis {
+        /// Stratified bootstrap resampling in the exponent fit.
+        pub const BOOTSTRAP: u64 = 0xB007;
+        /// Every id in this namespace, for exhaustive collision tests.
+        pub const ALL: &[(&str, u64)] = &[("BOOTSTRAP", BOOTSTRAP)];
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +202,73 @@ mod tests {
         assert_ne!(base, derive_seed_sharded(1, 2, 4, 4));
         assert_ne!(base, derive_seed_sharded(1, 2, 3, 5));
         assert_eq!(base, derive_seed_sharded(1, 2, 3, 4));
+    }
+
+    #[test]
+    fn registry_namespaces_hold_unique_ids() {
+        // Uniqueness within each namespace is the registry's whole point;
+        // check the declared tables directly (slb-lint re-checks the
+        // source text, this checks the compiled values).
+        for (namespace, table) in [
+            ("round", streams::round::ALL),
+            ("trial", streams::trial::ALL),
+            ("analysis", streams::analysis::ALL),
+        ] {
+            for (i, &(name_a, id_a)) in table.iter().enumerate() {
+                for &(name_b, id_b) in &table[i + 1..] {
+                    assert_ne!(
+                        id_a, id_b,
+                        "streams::{namespace}::{name_a} and \
+                         streams::{namespace}::{name_b} share id {id_a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn registry_streams_never_collide_pairwise_or_sharded() {
+        // Exhaustive over the registry: for a spread of (master, round)
+        // pairs, the derived seeds of every round-namespace stream — each
+        // id both unsharded and through all 64 shards of the sharded
+        // derivation — and of every trial-namespace stream must be
+        // pairwise distinct. This is the machine-checked form of the
+        // "streams never alias" argument the engines rely on.
+        use std::collections::HashMap;
+        for master in [0u64, 42, 0xdead_beef, u64::MAX] {
+            for round_idx in [0u64, 1, 7, 1 << 40] {
+                let mut seen: HashMap<u64, String> = HashMap::new();
+                let mut check = |seed: u64, label: String| {
+                    if let Some(prev) = seen.insert(seed, label.clone()) {
+                        panic!(
+                            "seed collision at master {master}, round {round_idx}: \
+                             {prev} == {label}"
+                        );
+                    }
+                };
+                for &(name, id) in streams::round::ALL {
+                    check(derive_seed(master, round_idx, id), format!("round::{name}"));
+                    for shard in 0..64u64 {
+                        check(
+                            derive_seed_sharded(master, round_idx, id, shard),
+                            format!("round::{name}[shard {shard}]"),
+                        );
+                    }
+                }
+                // The trial namespace pins the round axis to 0 and shares
+                // its master with nothing above, but pairwise
+                // distinctness within the namespace must still hold.
+                let trial_seeds: Vec<u64> = streams::trial::ALL
+                    .iter()
+                    .map(|&(_, id)| derive_seed(master, 0, id))
+                    .collect();
+                for (i, a) in trial_seeds.iter().enumerate() {
+                    for b in &trial_seeds[i + 1..] {
+                        assert_ne!(a, b, "trial-namespace streams collide");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

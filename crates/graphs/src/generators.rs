@@ -300,6 +300,7 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
         let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(rng);
         let mut b = GraphBuilder::with_edge_capacity(n, n * d / 2);
+        // slb-lint: allow(map-iteration, reason = "insert/contains dedup only; never iterated, so no order dependence")
         let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
         for pair in stubs.chunks_exact(2) {
             let (a, c) = (pair[0], pair[1]);

@@ -34,6 +34,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Curated pedantic hardening (promoted to errors by CI's `-D warnings`):
+// index math must not truncate silently, hot-path APIs must not
+// clone-by-value, and float equality must be a deliberate act. Scoped to
+// library code — tests compare exact deterministic outputs all the time.
+#![cfg_attr(
+    not(test),
+    warn(
+        clippy::needless_pass_by_value,
+        clippy::cast_possible_truncation,
+        clippy::float_cmp
+    )
+)]
 
 mod builder;
 pub mod cheeger;

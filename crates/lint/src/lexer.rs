@@ -1,0 +1,543 @@
+//! A lightweight Rust token scanner.
+//!
+//! Not a parser: it produces a flat token stream that is *comment-,
+//! string-, and attribute-aware*, which is exactly enough for the lint
+//! rules to match call sites and banned identifiers without ever being
+//! fooled by text inside comments, string literals, or doc examples.
+//! Totality over validity: any byte sequence lexes (unknown characters
+//! become punctuation tokens), so a syntactically broken file degrades to
+//! weaker findings instead of a crash.
+
+/// The coarse token classes the rules discriminate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (any radix, with `_` separators and suffix).
+    Int,
+    /// Float literal (decimal point, exponent, or `f32`/`f64` suffix).
+    Float,
+    /// String literal: plain, raw, byte, or raw-byte; quotes included.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Lifetime or loop label (`'a`, `'attempt`).
+    Lifetime,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: Kind,
+    /// The literal source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A parsed `// slb-lint: allow(...)` control comment.
+///
+/// `rule`/`reason` are `None` when the respective part failed to parse —
+/// the rule engine reports those as `bad-allow` findings rather than
+/// honoring them.
+#[derive(Debug, Clone)]
+pub struct AllowComment {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The rule name inside `allow(...)`, if it parsed.
+    pub rule: Option<String>,
+    /// The `reason = "..."` string, if present and non-empty.
+    pub reason: Option<String>,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens, in source order.
+    pub tokens: Vec<Tok>,
+    /// All `slb-lint:` control comments encountered.
+    pub allows: Vec<AllowComment>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Lexes `source` into tokens plus `slb-lint:` control comments.
+pub fn lex(source: &str) -> Lexed {
+    let b = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let push = |out: &mut Lexed, kind: Kind, text: &str, line: u32| {
+        out.tokens.push(Tok {
+            kind,
+            text: text.to_string(),
+            line,
+        });
+    };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                // Doc comments (`///`, `//!`) are prose — only plain `//`
+                // comments can carry control directives, so documentation
+                // may freely *mention* the allow syntax.
+                let doc = matches!(b.get(i + 2), Some(b'/' | b'!'));
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                if !doc {
+                    if let Some(allow) = parse_allow_comment(&source[start..i], line) {
+                        out.allows.push(allow);
+                    }
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (end, newlines) = scan_plain_string(b, i);
+                push(&mut out, Kind::Str, &source[i..end], line);
+                line += newlines;
+                i = end;
+            }
+            b'\'' => {
+                let start_line = line;
+                let (end, kind) = scan_char_or_lifetime(b, i);
+                push(&mut out, kind, &source[i..end], start_line);
+                i = end;
+            }
+            _ if is_ident_start(c) => {
+                if matches!(c, b'r' | b'b') {
+                    if let Some((end, newlines)) = raw_or_byte_string_start(b, i) {
+                        push(&mut out, Kind::Str, &source[i..end], line);
+                        line += newlines;
+                        i = end;
+                        continue;
+                    }
+                }
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                push(&mut out, Kind::Ident, &source[start..i], line);
+            }
+            _ if c.is_ascii_digit() => {
+                let (end, kind) = scan_number(b, i);
+                push(&mut out, kind, &source[i..end], line);
+                i = end;
+            }
+            _ => {
+                push(&mut out, Kind::Punct, &source[i..i + 1], line);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a plain (possibly byte-prefixed at the caller) string literal
+/// starting at the opening quote; returns (end index past the closing
+/// quote, newline count inside).
+fn scan_plain_string(b: &[u8], mut i: usize) -> (usize, u32) {
+    debug_assert_eq!(b[i], b'"');
+    i += 1;
+    let mut newlines = 0u32;
+    while i < b.len() {
+        match b[i] {
+            // Escape: skip the escaped character, counting a line
+            // continuation's newline.
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    newlines += 1;
+                }
+                i += 2;
+            }
+            b'"' => return (i + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, newlines)
+}
+
+/// Distinguishes `'a'` (char) from `'a` (lifetime/label) and scans either.
+fn scan_char_or_lifetime(b: &[u8], i: usize) -> (usize, Kind) {
+    debug_assert_eq!(b[i], b'\'');
+    let Some(&next) = b.get(i + 1) else {
+        return (i + 1, Kind::Punct);
+    };
+    if next == b'\\' {
+        // Escaped char literal: skip the escape, then find the closing
+        // quote (covers \n, \', \\, \u{...}).
+        let mut j = i + 2;
+        if b.get(j) == Some(&b'u') && b.get(j + 1) == Some(&b'{') {
+            while j < b.len() && b[j] != b'}' {
+                j += 1;
+            }
+        }
+        j += 1;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return ((j + 1).min(b.len()), Kind::Char);
+    }
+    if is_ident_start(next) {
+        let mut j = i + 1;
+        while j < b.len() && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        if b.get(j) == Some(&b'\'') {
+            return (j + 1, Kind::Char); // 'a'
+        }
+        return (j, Kind::Lifetime); // 'a, 'attempt, 'static
+    }
+    // Non-ident char literal: ' ', '0'... scan to the closing quote.
+    let mut j = i + 1;
+    while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+        j += 1;
+    }
+    ((j + 1).min(b.len()), Kind::Char)
+}
+
+/// If position `i` starts a raw/byte string (`r"`, `r#"`, `b"`, `br#"`,
+/// ...), scans it and returns (end index, newline count). `b'x'` byte
+/// chars are left to the char scanner via `None`.
+fn raw_or_byte_string_start(b: &[u8], i: usize) -> Option<(usize, u32)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let raw = b.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') || (!raw && hashes > 0) {
+        return None;
+    }
+    if !raw {
+        // b"..." — plain escape rules.
+        let (end, newlines) = scan_plain_string(b, j);
+        return Some((end, newlines));
+    }
+    // Raw string: ends at `"` followed by `hashes` hashes; no escapes.
+    j += 1;
+    let mut newlines = 0u32;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            newlines += 1;
+        }
+        if b[j] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return Some((j + 1 + hashes, newlines));
+            }
+        }
+        j += 1;
+    }
+    Some((j, newlines))
+}
+
+/// Scans a numeric literal; returns (end index, Int or Float).
+fn scan_number(b: &[u8], i: usize) -> (usize, Kind) {
+    let mut j = i;
+    if b[j] == b'0' && matches!(b.get(j + 1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B')) {
+        j += 2;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return (j, Kind::Int);
+    }
+    let mut float = false;
+    while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'.') {
+        match b.get(j + 1) {
+            // `1..4` range or `1.method()` — the literal ends before the dot.
+            Some(&n) if n == b'.' || is_ident_start(n) => {}
+            // `1.0`, `1.` — a float; consume the fraction.
+            _ => {
+                float = true;
+                j += 1;
+                while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                    j += 1;
+                }
+            }
+        }
+    }
+    if matches!(b.get(j), Some(b'e' | b'E')) {
+        let k = if matches!(b.get(j + 1), Some(b'+' | b'-')) {
+            j + 2
+        } else {
+            j + 1
+        };
+        if b.get(k).is_some_and(u8::is_ascii_digit) {
+            float = true;
+            j = k;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix: `u64`, `usize`, `f64`...
+    if b.get(j).copied().is_some_and(is_ident_start) {
+        if b[j] == b'f' {
+            float = true;
+        }
+        while j < b.len() && is_ident_continue(b[j]) {
+            j += 1;
+        }
+    }
+    (j, if float { Kind::Float } else { Kind::Int })
+}
+
+/// Parses an `slb-lint:` control comment out of a `//` comment's text.
+/// Returns `None` for ordinary comments; malformed control comments come
+/// back with `rule`/`reason` unset so the engine can flag them.
+fn parse_allow_comment(comment: &str, line: u32) -> Option<AllowComment> {
+    let rest = comment.split("slb-lint:").nth(1)?;
+    let rest = rest.trim_start();
+    let Some(args) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.split(')').next())
+    else {
+        return Some(AllowComment {
+            line,
+            rule: None,
+            reason: None,
+        });
+    };
+    let (rule_part, reason_part) = match args.split_once(',') {
+        Some((r, rest)) => (r, Some(rest)),
+        None => (args, None),
+    };
+    let rule = rule_part.trim();
+    let rule = (!rule.is_empty()).then(|| rule.to_string());
+    let reason = reason_part.and_then(|r| {
+        let r = r
+            .trim()
+            .strip_prefix("reason")?
+            .trim_start()
+            .strip_prefix('=')?;
+        let r = r.trim().strip_prefix('"')?;
+        let r = r.split('"').next()?.trim();
+        (!r.is_empty()).then(|| r.to_string())
+    });
+    Some(AllowComment { line, rule, reason })
+}
+
+/// Marks every token that belongs to a `#[cfg(test)]` / `#[test]` item
+/// (attribute included). Conservative on `not(test)`: an attribute whose
+/// argument list contains `not` is treated as *non*-test.
+pub fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(is_punct(tokens, i, "#")) {
+            i += 1;
+            continue;
+        }
+        let mut a = i + 1;
+        if is_punct(tokens, a, "!") {
+            a += 1;
+        }
+        if !is_punct(tokens, a, "[") {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]` and look for a `test` ident inside.
+        let mut depth = 0usize;
+        let mut j = a;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < tokens.len() {
+            match (tokens[j].kind, tokens[j].text.as_str()) {
+                (Kind::Punct, "[") => depth += 1,
+                (Kind::Punct, "]") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                (Kind::Ident, "test") => has_test = true,
+                (Kind::Ident, "not") => has_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_test || has_not || j >= tokens.len() {
+            i = a + 1;
+            continue;
+        }
+        // Attribute marks a test item: extend over any further
+        // attributes, then over the item itself (up to `;` at depth 0 or
+        // the matching brace of its body).
+        let mut k = j + 1;
+        while is_punct(tokens, k, "#") {
+            let mut d = 0usize;
+            let mut m = k + 1;
+            if is_punct(tokens, m, "!") {
+                m += 1;
+            }
+            while m < tokens.len() {
+                match tokens[m].text.as_str() {
+                    "[" if tokens[m].kind == Kind::Punct => d += 1,
+                    "]" if tokens[m].kind == Kind::Punct => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            k = m + 1;
+        }
+        let mut d = 0isize;
+        let mut entered = false;
+        while k < tokens.len() {
+            if tokens[k].kind == Kind::Punct {
+                match tokens[k].text.as_str() {
+                    "(" | "[" => d += 1,
+                    "{" => {
+                        d += 1;
+                        entered = true;
+                    }
+                    ")" | "]" | "}" => d -= 1,
+                    ";" if d == 0 => break,
+                    _ => {}
+                }
+            }
+            if entered && d == 0 {
+                break;
+            }
+            k += 1;
+        }
+        let end = k.min(tokens.len() - 1);
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+fn is_punct(tokens: &[Tok], i: usize, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == Kind::Punct && t.text == text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_code_tokens() {
+        let toks =
+            kinds("// HashMap unwrap()\n/* derive_seed(1, 2, 3) */\nlet s = \"HashMap.unwrap()\";");
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != Kind::Ident
+                || (t != "HashMap" && t != "unwrap" && t != "derive_seed")));
+    }
+
+    #[test]
+    fn raw_strings_and_labels_lex() {
+        let toks = kinds("let x = r#\"un\"wrap\"#; 'outer: loop { break 'outer; } let c = 'a'; let l: &'static str = \"\";");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == Kind::Lifetime && t == "'outer"));
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Char && t == "'a'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == Kind::Lifetime && t == "'static"));
+        assert!(toks.iter().all(|(k, t)| *k != Kind::Ident || t != "wrap"));
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        let toks = kinds("0xB007 1_000 1..4 1.5 1e-9 2f64 3u64");
+        let ints: Vec<_> = toks.iter().filter(|(k, _)| *k == Kind::Int).collect();
+        let floats: Vec<_> = toks.iter().filter(|(k, _)| *k == Kind::Float).collect();
+        assert_eq!(ints.len(), 5, "{toks:?}"); // 0xB007 1_000 1 4 3u64
+        assert_eq!(floats.len(), 3, "{toks:?}"); // 1.5 1e-9 2f64
+    }
+
+    #[test]
+    fn allow_comments_parse() {
+        let lexed = lex("// slb-lint: allow(map-iteration, reason = \"never iterated\")\n// slb-lint: allow(wall-clock)\n// plain comment\n");
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].rule.as_deref(), Some("map-iteration"));
+        assert_eq!(lexed.allows[0].reason.as_deref(), Some("never iterated"));
+        assert_eq!(lexed.allows[1].rule.as_deref(), Some("wall-clock"));
+        assert!(lexed.allows[1].reason.is_none());
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules_not_cfg_not_test() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() { x.unwrap(); }\n}\n#[cfg(not(test))]\nfn prod() { y.unwrap(); }\n";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let masked: Vec<_> = lexed
+            .tokens
+            .iter()
+            .zip(&mask)
+            .filter(|(_, m)| **m)
+            .map(|(t, _)| t.text.clone())
+            .collect();
+        assert!(masked.contains(&"inner".to_string()));
+        assert!(!masked.contains(&"prod".to_string()));
+        assert!(!masked.contains(&"live".to_string()));
+    }
+}

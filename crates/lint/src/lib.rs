@@ -1,0 +1,137 @@
+//! `slb-lint` — the workspace determinism-and-safety static-analysis pass.
+//!
+//! Every artifact this reproduction produces rests on one hand-enforced
+//! invariant: outputs are byte-identical at any `--threads`. That in turn
+//! rests on conventions no general-purpose tool checks — unique RNG
+//! stream ids per consumer, no unordered-map iteration or wall-clock
+//! reads in engine code, fixed-order float reductions. This crate
+//! machine-checks them with a lightweight comment/string/attribute-aware
+//! token scanner ([`lexer`]) and a rule engine ([`rules`]) that walks
+//! every workspace `.rs` file ([`walk`]).
+//!
+//! # Rules
+//!
+//! | rule | scope | checks |
+//! |---|---|---|
+//! | `stream-literal` | all non-test code | `derive_seed*` / `rng_for*` call sites name a constant from `slb_core::rng::streams`, never a raw integer |
+//! | `stream-duplicate` | the `streams` registry | no two constants in one namespace share an id |
+//! | `map-iteration` | `crates/core`, `crates/graphs` lib | no `HashMap`/`HashSet` (iteration order is nondeterministic) |
+//! | `wall-clock` | same | no `std::time` / `Instant` / `SystemTime` |
+//! | `thread-current` | same | no `thread::current` |
+//! | `unordered-float-sum` | same | no float `sum()`/`fold()` over `values()`/`keys()` |
+//! | `panic-hygiene` | same, non-bin | no `unwrap()`; `expect()` must carry a literal invariant message |
+//! | `bad-allow` | everywhere | `slb-lint: allow(...)` comments parse and name a known rule with a reason |
+//!
+//! # Escape hatch
+//!
+//! A justified exception is silenced by a comment on the offending line
+//! or the line directly above — the reason is mandatory:
+//!
+//! ```text
+//! // slb-lint: allow(map-iteration, reason = "dedup membership only; never iterated")
+//! ```
+//!
+//! # Exit codes (binary)
+//!
+//! `0` clean · `1` findings · `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use rules::Finding;
+
+use std::io;
+use std::path::Path;
+
+/// Lints one file's source text under the scoping rules its
+/// workspace-relative path implies.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let class = walk::classify(rel_path);
+    if class.skip {
+        return Vec::new();
+    }
+    let lexed = lexer::lex(source);
+    rules::run(rel_path, &lexed, &class)
+}
+
+/// Lints every `.rs` file under `root` (a workspace checkout) and returns
+/// all findings, sorted by file, line, rule.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in walk::collect_rs_files(root)? {
+        let rel = walk::relative(root, &path);
+        let source = std::fs::read_to_string(&path)?;
+        findings.extend(lint_source(&rel, &source));
+    }
+    Ok(findings)
+}
+
+/// Renders findings as a stable JSON document:
+/// `{"count": N, "findings": [{"file", "line", "rule", "message"}, ...]}`.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"count\": ");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"file\": ");
+        json_string(&mut out, &f.file);
+        out.push_str(", \"line\": ");
+        out.push_str(&f.line.to_string());
+        out.push_str(", \"rule\": ");
+        json_string(&mut out, f.rule);
+        out.push_str(", \"message\": ");
+        json_string(&mut out, &f.message);
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let findings = vec![Finding {
+            file: "a\"b.rs".to_string(),
+            line: 3,
+            rule: rules::STREAM_LITERAL,
+            message: "tab\there".to_string(),
+        }];
+        let json = to_json(&findings);
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("tab\\there"));
+        assert!(json.contains("\"line\": 3"));
+        assert!(to_json(&[]).contains("\"count\": 0"));
+    }
+}

@@ -1,0 +1,112 @@
+//! The `slb-lint` command-line entry point.
+//!
+//! ```text
+//! slb-lint [--root PATH] [--format human|json] [--help]
+//! ```
+//!
+//! Walks every `.rs` file of the workspace at `--root` (default: the
+//! nearest enclosing directory whose `Cargo.toml` declares
+//! `[workspace]`) and prints findings. Exit code 0 when clean, 1 on
+//! findings, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+slb-lint — workspace determinism-and-safety static analysis
+
+USAGE:
+    slb-lint [--root PATH] [--format human|json]
+
+OPTIONS:
+    --root PATH       Workspace root to lint (default: auto-detected from
+                      the current directory by walking up to the nearest
+                      Cargo.toml containing [workspace])
+    --format FORMAT   Output format: human (default) or json
+    -h, --help        Show this help
+
+EXIT CODES:
+    0  no findings    1  findings reported    2  usage or I/O error
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = String::from("human");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root requires a path"),
+            },
+            "--format" => match args.next() {
+                Some(f) if f == "human" || f == "json" => format = f,
+                Some(f) => return usage_error(&format!("unknown format `{f}`")),
+                None => return usage_error("--format requires human|json"),
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root.map_or_else(detect_workspace_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("slb-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match slb_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("slb-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if format == "json" {
+        print!("{}", slb_lint::to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            eprintln!("slb-lint: no findings");
+        } else {
+            eprintln!("slb-lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("slb-lint: error: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the nearest `Cargo.toml` that
+/// declares a `[workspace]` section.
+fn detect_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(
+                "no workspace root found (no enclosing Cargo.toml with [workspace]); \
+                 pass --root PATH"
+                    .to_string(),
+            );
+        }
+    }
+}

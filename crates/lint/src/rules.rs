@@ -1,0 +1,493 @@
+//! The lint rules.
+//!
+//! Every rule walks the token stream produced by [`crate::lexer`] with the
+//! `#[cfg(test)]` regions masked out, so nothing in comments, strings, or
+//! test modules can fire. Which rules run on a file is decided by
+//! [`crate::walk::classify`] from its workspace-relative path.
+
+use crate::lexer::{AllowComment, Kind, Lexed, Tok};
+use crate::walk::FileClass;
+use std::collections::{BTreeSet, HashMap};
+
+/// One lint finding, pointing at a workspace-relative `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Raw integer literal in the stream-argument position of a
+/// `derive_seed*` / `rng_for*` call.
+pub const STREAM_LITERAL: &str = "stream-literal";
+/// Two registry constants in the same `streams` namespace share a value.
+pub const STREAM_DUPLICATE: &str = "stream-duplicate";
+/// `HashMap`/`HashSet` in deterministic engine code.
+pub const MAP_ITERATION: &str = "map-iteration";
+/// `std::time` / `Instant` / `SystemTime` in deterministic engine code.
+pub const WALL_CLOCK: &str = "wall-clock";
+/// `thread::current()` in deterministic engine code.
+pub const THREAD_CURRENT: &str = "thread-current";
+/// Float `sum()`/`fold()` over an unordered (`values()`/`keys()`) iterator.
+pub const UNORDERED_FLOAT_SUM: &str = "unordered-float-sum";
+/// `unwrap()` (or `expect()` without a literal invariant message) in
+/// engine library code.
+pub const PANIC_HYGIENE: &str = "panic-hygiene";
+/// Malformed or unknown `// slb-lint: allow(...)` control comment.
+pub const BAD_ALLOW: &str = "bad-allow";
+
+/// Every rule name, for allow-comment validation and documentation.
+pub const RULES: &[&str] = &[
+    STREAM_LITERAL,
+    STREAM_DUPLICATE,
+    MAP_ITERATION,
+    WALL_CLOCK,
+    THREAD_CURRENT,
+    UNORDERED_FLOAT_SUM,
+    PANIC_HYGIENE,
+    BAD_ALLOW,
+];
+
+/// Runs every rule applicable under `class` over a lexed file and applies
+/// the allow-comment suppressions. Findings come back sorted and deduped
+/// per (rule, line).
+pub fn run(path: &str, lexed: &Lexed, class: &FileClass) -> Vec<Finding> {
+    let tokens = &lexed.tokens;
+    let mask = crate::lexer::test_mask(tokens);
+    let mut findings: Vec<Finding> = Vec::new();
+    if class.stream {
+        stream_literal(path, tokens, &mask, &mut findings);
+        stream_duplicate(path, tokens, &mask, &mut findings);
+    }
+    if class.nondet {
+        banned_idents(path, tokens, &mask, &mut findings);
+        unordered_float_sum(path, tokens, &mask, &mut findings);
+    }
+    if class.panic {
+        panic_hygiene(path, tokens, &mask, &mut findings);
+    }
+    bad_allow(path, &lexed.allows, &mut findings);
+    suppress(&mut findings, &lexed.allows);
+    findings.sort();
+    findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+    findings
+}
+
+/// Drops findings covered by a well-formed allow comment on the same line
+/// or the line directly above.
+fn suppress(findings: &mut Vec<Finding>, allows: &[AllowComment]) {
+    findings.retain(|f| {
+        if f.rule == BAD_ALLOW {
+            return true;
+        }
+        !allows.iter().any(|a| {
+            a.rule.as_deref() == Some(f.rule)
+                && a.reason.is_some()
+                && (a.line == f.line || a.line + 1 == f.line)
+        })
+    });
+}
+
+fn bad_allow(path: &str, allows: &[AllowComment], findings: &mut Vec<Finding>) {
+    for a in allows {
+        let problem = match (&a.rule, &a.reason) {
+            (None, _) => Some("could not parse a rule name".to_string()),
+            (Some(rule), _) if !RULES.contains(&rule.as_str()) => {
+                Some(format!("unknown rule `{rule}`"))
+            }
+            (Some(_), None) => {
+                Some("missing or empty `reason = \"...\"` (a reason is required)".to_string())
+            }
+            _ => None,
+        };
+        if let Some(problem) = problem {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: a.line,
+                rule: BAD_ALLOW,
+                message: format!("malformed `slb-lint: allow(...)` comment: {problem}"),
+            });
+        }
+    }
+}
+
+/// The `derive_seed*` / `rng_for*` functions and the 0-based index of
+/// their stream argument.
+const STREAM_FNS: &[(&str, usize)] = &[
+    ("derive_seed", 2),
+    ("derive_seed_sharded", 2),
+    ("rng_for", 2),
+    ("rng_for_shard", 2),
+];
+
+fn stream_literal(path: &str, tokens: &[Tok], mask: &[bool], findings: &mut Vec<Finding>) {
+    for (i, tok) in tokens.iter().enumerate() {
+        if mask[i] || tok.kind != Kind::Ident {
+            continue;
+        }
+        let Some(&(name, stream_arg)) = STREAM_FNS.iter().find(|(n, _)| *n == tok.text) else {
+            continue;
+        };
+        // Skip the definition itself (`fn derive_seed(...)`) and bare
+        // path mentions (`use crate::rng::derive_seed`).
+        if i > 0 && tokens[i - 1].kind == Kind::Ident && tokens[i - 1].text == "fn" {
+            continue;
+        }
+        if !is_punct(tokens, i + 1, "(") {
+            continue;
+        }
+        let args = split_call_args(tokens, i + 1);
+        let Some(arg) = args.get(stream_arg) else {
+            continue;
+        };
+        if let Some(first) = arg.first() {
+            if first.kind == Kind::Int {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: first.line,
+                    rule: STREAM_LITERAL,
+                    message: format!(
+                        "raw integer literal `{}` in the stream argument of `{name}`; \
+                         use a named constant from `slb_core::rng::streams`",
+                        first.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Splits the argument list of a call whose `(` is at `open` into
+/// top-level comma-separated token slices.
+fn split_call_args(tokens: &[Tok], open: usize) -> Vec<&[Tok]> {
+    let mut args = Vec::new();
+    let mut depth = 1usize;
+    let mut start = open + 1;
+    let mut j = open + 1;
+    while j < tokens.len() && depth > 0 {
+        if tokens[j].kind == Kind::Punct {
+            match tokens[j].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "," if depth == 1 => {
+                    args.push(&tokens[start..j]);
+                    start = j + 1;
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    if j > start {
+        args.push(&tokens[start..j]);
+    }
+    args
+}
+
+fn stream_duplicate(path: &str, tokens: &[Tok], mask: &[bool], findings: &mut Vec<Finding>) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_streams_mod = !mask[i]
+            && tokens[i].kind == Kind::Ident
+            && tokens[i].text == "mod"
+            && tokens.get(i + 1).is_some_and(|t| t.text == "streams")
+            && is_punct(tokens, i + 2, "{");
+        if !is_streams_mod {
+            i += 1;
+            continue;
+        }
+        // Walk the registry block, tracking nested `mod` namespaces.
+        // (namespace path, value) → first constant's name.
+        let mut seen: HashMap<(String, u64), String> = HashMap::new();
+        let mut stack: Vec<String> = Vec::new();
+        let mut depth_stack: Vec<usize> = Vec::new();
+        let mut depth = 1usize;
+        let mut j = i + 3;
+        while j < tokens.len() && depth > 0 {
+            let t = &tokens[j];
+            if t.kind == Kind::Punct {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth_stack.last() == Some(&depth) {
+                            depth_stack.pop();
+                            stack.pop();
+                        }
+                    }
+                    _ => {}
+                }
+            } else if t.kind == Kind::Ident && t.text == "mod" {
+                if let Some(name) = tokens.get(j + 1) {
+                    if is_punct(tokens, j + 2, "{") {
+                        stack.push(name.text.clone());
+                        depth_stack.push(depth);
+                        depth += 1;
+                        j += 3;
+                        continue;
+                    }
+                }
+            } else if t.kind == Kind::Ident && t.text == "const" {
+                // const NAME: u64 = <int>;
+                if let (Some(name), true, Some(ty), true, Some(value)) = (
+                    tokens.get(j + 1),
+                    is_punct(tokens, j + 2, ":"),
+                    tokens.get(j + 3),
+                    is_punct(tokens, j + 4, "="),
+                    tokens.get(j + 5),
+                ) {
+                    if ty.text == "u64" && value.kind == Kind::Int {
+                        if let Some(v) = parse_int_literal(&value.text) {
+                            let ns = stack.join("::");
+                            match seen.entry((ns.clone(), v)) {
+                                std::collections::hash_map::Entry::Occupied(e) => {
+                                    findings.push(Finding {
+                                        file: path.to_string(),
+                                        line: name.line,
+                                        rule: STREAM_DUPLICATE,
+                                        message: format!(
+                                            "stream id {v} of `{}` duplicates `{}` in \
+                                             registry namespace `streams::{ns}`",
+                                            name.text,
+                                            e.get()
+                                        ),
+                                    });
+                                }
+                                std::collections::hash_map::Entry::Vacant(e) => {
+                                    e.insert(name.text.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        i = j;
+    }
+}
+
+/// Parses a Rust integer literal (any radix, `_` separators, type suffix).
+fn parse_int_literal(text: &str) -> Option<u64> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    let (digits, radix) = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        (h, 16)
+    } else if let Some(o) = t.strip_prefix("0o").or_else(|| t.strip_prefix("0O")) {
+        (o, 8)
+    } else if let Some(b) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        (b, 2)
+    } else {
+        (t.as_str(), 10)
+    };
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
+/// The identifier-level nondeterminism bans: `map-iteration` and
+/// `wall-clock`/`thread-current`.
+fn banned_idents(path: &str, tokens: &[Tok], mask: &[bool], findings: &mut Vec<Finding>) {
+    for (i, tok) in tokens.iter().enumerate() {
+        if mask[i] || tok.kind != Kind::Ident {
+            continue;
+        }
+        let (rule, message) = match tok.text.as_str() {
+            "HashMap" | "HashSet" => (
+                MAP_ITERATION,
+                format!(
+                    "`{}` in deterministic engine code: its iteration order is \
+                     nondeterministic; use `Vec`/`BTreeMap` or justify with an allow comment",
+                    tok.text
+                ),
+            ),
+            "SystemTime" | "Instant" => (
+                WALL_CLOCK,
+                format!(
+                    "`{}` in deterministic engine code: wall-clock reads make runs \
+                     irreproducible",
+                    tok.text
+                ),
+            ),
+            "std" if is_path_seq(tokens, i, &["std", "time"]) => (
+                WALL_CLOCK,
+                "`std::time` in deterministic engine code: wall-clock reads make runs \
+                 irreproducible"
+                    .to_string(),
+            ),
+            "thread" if is_path_seq(tokens, i, &["thread", "current"]) => (
+                THREAD_CURRENT,
+                "`thread::current` in deterministic engine code: thread identity must \
+                 never influence results"
+                    .to_string(),
+            ),
+            _ => continue,
+        };
+        findings.push(Finding {
+            file: path.to_string(),
+            line: tok.line,
+            rule,
+            message,
+        });
+    }
+}
+
+/// Does `tokens[i..]` spell the path `segs[0] :: segs[1] :: ...`?
+fn is_path_seq(tokens: &[Tok], i: usize, segs: &[&str]) -> bool {
+    let mut j = i;
+    for (k, seg) in segs.iter().enumerate() {
+        if !tokens
+            .get(j)
+            .is_some_and(|t| t.kind == Kind::Ident && t.text == *seg)
+        {
+            return false;
+        }
+        j += 1;
+        if k + 1 < segs.len() {
+            if !(is_punct(tokens, j, ":") && is_punct(tokens, j + 1, ":")) {
+                return false;
+            }
+            j += 2;
+        }
+    }
+    true
+}
+
+fn unordered_float_sum(path: &str, tokens: &[Tok], mask: &[bool], findings: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        if mask[i] {
+            continue;
+        }
+        // `.values()` / `.keys()` — an unordered iterator source.
+        let unordered = tokens[i].kind == Kind::Ident
+            && matches!(tokens[i].text.as_str(), "values" | "keys")
+            && i > 0
+            && is_punct(tokens, i - 1, ".")
+            && is_punct(tokens, i + 1, "(")
+            && is_punct(tokens, i + 2, ")");
+        if !unordered {
+            continue;
+        }
+        // Scan the rest of the statement for a float `sum`/`fold`.
+        let stmt_start = (0..i)
+            .rev()
+            .find(|&j| {
+                tokens[j].kind == Kind::Punct && matches!(tokens[j].text.as_str(), ";" | "{" | "}")
+            })
+            .map_or(0, |j| j + 1);
+        let mut j = i + 3;
+        let mut reduce: Option<&Tok> = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.kind == Kind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+                break;
+            }
+            if t.kind == Kind::Ident
+                && matches!(t.text.as_str(), "sum" | "fold")
+                && is_punct(tokens, j - 1, ".")
+            {
+                reduce = Some(t);
+                break;
+            }
+            j += 1;
+        }
+        let Some(reduce) = reduce else { continue };
+        let float_involved = tokens[stmt_start..]
+            .iter()
+            .take_while(|t| !(t.kind == Kind::Punct && t.text == ";"))
+            .any(|t| {
+                t.kind == Kind::Float
+                    || (t.kind == Kind::Ident && matches!(t.text.as_str(), "f64" | "f32"))
+            });
+        if float_involved {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: reduce.line,
+                rule: UNORDERED_FLOAT_SUM,
+                message: format!(
+                    "float `{}()` over an unordered `{}()` iterator: float addition is \
+                     non-associative, so the result depends on iteration order",
+                    reduce.text, tokens[i].text
+                ),
+            });
+        }
+    }
+}
+
+fn panic_hygiene(path: &str, tokens: &[Tok], mask: &[bool], findings: &mut Vec<Finding>) {
+    for (i, tok) in tokens.iter().enumerate() {
+        if mask[i] || tok.kind != Kind::Ident || i == 0 || !is_punct(tokens, i - 1, ".") {
+            continue;
+        }
+        match tok.text.as_str() {
+            "unwrap" if is_punct(tokens, i + 1, "(") && is_punct(tokens, i + 2, ")") => {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: tok.line,
+                    rule: PANIC_HYGIENE,
+                    message: "`unwrap()` in engine library code: propagate the error or \
+                              use `expect(\"<invariant>\")` stating why this cannot fail"
+                        .to_string(),
+                });
+            }
+            "expect" if is_punct(tokens, i + 1, "(") => {
+                let args = split_call_args(tokens, i + 1);
+                let documented = args.first().is_some_and(|arg| {
+                    arg.len() == 1
+                        && arg[0].kind == Kind::Str
+                        && string_content_nonempty(&arg[0].text)
+                });
+                if !documented {
+                    findings.push(Finding {
+                        file: path.to_string(),
+                        line: tok.line,
+                        rule: PANIC_HYGIENE,
+                        message: "`expect()` without a literal invariant message in engine \
+                                  library code: state why this cannot fail"
+                            .to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Is there anything inside the quotes of a string-literal token?
+fn string_content_nonempty(text: &str) -> bool {
+    let inner = text
+        .trim_start_matches(['b', 'r', '#'])
+        .trim_end_matches('#');
+    inner.trim_matches('"').trim().chars().count() > 0
+}
+
+fn is_punct(tokens: &[Tok], i: usize, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == Kind::Punct && t.text == text)
+}
+
+/// The distinct (rule, line) pairs of a finding list — handy in tests.
+pub fn rule_lines(findings: &[Finding]) -> BTreeSet<(&'static str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}

@@ -1,0 +1,136 @@
+//! Workspace walking and path-based file classification.
+//!
+//! Which rules apply to a file is a pure function of its
+//! workspace-relative path — the same function drives the real workspace
+//! walk and the fixture tests, so fixtures exercise exactly the
+//! production scoping logic.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which rule families apply to one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// RNG stream discipline (`stream-literal`, `stream-duplicate`).
+    pub stream: bool,
+    /// Nondeterminism bans (`map-iteration`, `wall-clock`,
+    /// `thread-current`, `unordered-float-sum`).
+    pub nondet: bool,
+    /// Panic hygiene (`panic-hygiene`).
+    pub panic: bool,
+    /// Skip the file entirely (tests, fixtures, generated trees).
+    pub skip: bool,
+}
+
+/// The crates whose library code carries the determinism and panic
+/// contracts: the simulation engine and the graph layer it runs on.
+const ENGINE_CRATE_PREFIXES: &[&str] = &["crates/core/src/", "crates/graphs/src/"];
+
+/// Classifies a workspace-relative path (with `/` separators).
+pub fn classify(rel: &str) -> FileClass {
+    let rel = rel.replace('\\', "/");
+    let none = FileClass {
+        stream: false,
+        nondet: false,
+        panic: false,
+        skip: true,
+    };
+    if rel
+        .split('/')
+        .any(|seg| matches!(seg, "target" | ".git" | "fixtures" | "node_modules"))
+    {
+        return none;
+    }
+    // Test code is exempt from every rule: tests deliberately probe
+    // streams, clocks, and panics.
+    if rel.starts_with("tests/") || rel.contains("/tests/") {
+        return none;
+    }
+    let stream_only = FileClass {
+        stream: true,
+        nondet: false,
+        panic: false,
+        skip: false,
+    };
+    // Dev-only targets and binaries: stream discipline still applies
+    // (they seed real runs), the library-code contracts do not.
+    if rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.starts_with("examples/")
+        || rel.contains("/src/bin/")
+        || rel.ends_with("/main.rs")
+        || rel.starts_with("shims/")
+    {
+        return stream_only;
+    }
+    if ENGINE_CRATE_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+        return FileClass {
+            stream: true,
+            nondet: true,
+            panic: true,
+            skip: false,
+        };
+    }
+    stream_only
+}
+
+/// Recursively collects every `.rs` file under `root`, skipping `target`,
+/// `.git`, and fixture trees. Paths come back workspace-relative, sorted,
+/// with `/` separators — so output order is deterministic.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !matches!(
+                    name.as_ref(),
+                    "target" | ".git" | "fixtures" | "node_modules"
+                ) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// `path` relative to `root`, `/`-separated.
+pub fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_the_scoping_contract() {
+        assert!(classify("crates/core/src/engine/kernel.rs").panic);
+        assert!(classify("crates/graphs/src/generators.rs").nondet);
+        assert!(!classify("crates/analysis/src/sweep.rs").nondet);
+        assert!(classify("crates/analysis/src/sweep.rs").stream);
+        assert!(classify("crates/core/tests/engine_stress.rs").skip);
+        assert!(classify("tests/cli.rs").skip);
+        assert!(classify("crates/lint/tests/fixtures/bad.rs").skip);
+        assert!(classify("target/debug/build/foo.rs").skip);
+        let bin = classify("src/bin/slb.rs");
+        assert!(bin.stream && !bin.panic && !bin.nondet);
+        let shim = classify("shims/rand/src/lib.rs");
+        assert!(shim.stream && !shim.panic);
+        assert!(!classify("crates/bench/benches/protocol_rounds.rs").nondet);
+    }
+}

@@ -1,0 +1,217 @@
+//! Fixture tests: one passing and one failing fixture per lint rule, plus
+//! allow-comment and false-positive cases. Fixtures live as `.txt` files
+//! (so neither cargo nor the workspace walk treats them as source) and
+//! are linted under fake workspace-relative paths, exercising the same
+//! path-classification logic as the real run.
+
+use slb_lint::rules;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
+}
+
+/// Lints a fixture as engine-library code (strictest scope).
+fn lint_as_engine(name: &str) -> Vec<slb_lint::Finding> {
+    slb_lint::lint_source("crates/core/src/engine/fixture.rs", &fixture(name))
+}
+
+#[track_caller]
+fn assert_single(findings: &[slb_lint::Finding], rule: &str, line: u32) {
+    assert_eq!(
+        findings.len(),
+        1,
+        "expected exactly one finding, got: {findings:#?}"
+    );
+    assert_eq!(findings[0].rule, rule);
+    assert_eq!(findings[0].line, line);
+}
+
+#[test]
+fn stream_literal_fires_on_raw_literal() {
+    let findings = slb_lint::lint_source(
+        "crates/analysis/src/fixture.rs",
+        &fixture("stream_literal_bad.txt"),
+    );
+    assert_single(&findings, rules::STREAM_LITERAL, 4);
+    assert!(findings[0].message.contains("`3`"));
+    assert!(findings[0].message.contains("slb_core::rng::streams"));
+}
+
+#[test]
+fn stream_literal_quiet_on_named_constants() {
+    let findings = slb_lint::lint_source(
+        "crates/analysis/src/fixture.rs",
+        &fixture("stream_literal_ok.txt"),
+    );
+    assert_eq!(findings, vec![], "{findings:#?}");
+}
+
+#[test]
+fn stream_duplicate_fires_once_per_colliding_constant() {
+    let findings = slb_lint::lint_source(
+        "crates/core/src/fixture.rs",
+        &fixture("stream_duplicate_bad.txt"),
+    );
+    assert_single(&findings, rules::STREAM_DUPLICATE, 5);
+    assert!(findings[0].message.contains("COLLIDING"));
+    assert!(findings[0].message.contains("KERNEL"));
+    assert!(findings[0].message.contains("streams::round"));
+}
+
+#[test]
+fn stream_duplicate_quiet_across_namespaces() {
+    let findings = slb_lint::lint_source(
+        "crates/core/src/fixture.rs",
+        &fixture("stream_duplicate_ok.txt"),
+    );
+    assert_eq!(findings, vec![], "{findings:#?}");
+}
+
+#[test]
+fn map_iteration_fires_exactly_once_in_engine_code() {
+    let findings = lint_as_engine("map_iteration_bad.txt");
+    assert_single(&findings, rules::MAP_ITERATION, 1);
+    assert!(findings[0].file.starts_with("crates/core/src/engine/"));
+}
+
+#[test]
+fn map_iteration_outside_engine_crates_is_out_of_scope() {
+    let findings = slb_lint::lint_source(
+        "crates/analysis/src/fixture.rs",
+        &fixture("map_iteration_bad.txt"),
+    );
+    assert_eq!(findings, vec![], "{findings:#?}");
+}
+
+#[test]
+fn map_iteration_allow_comment_with_reason_suppresses() {
+    let findings = lint_as_engine("map_iteration_allowed.txt");
+    assert_eq!(findings, vec![], "{findings:#?}");
+}
+
+#[test]
+fn wall_clock_fires_once_per_line() {
+    // Line 2 mentions both `std::time` and `Instant`; findings dedup to
+    // one per (rule, line).
+    let findings = lint_as_engine("wall_clock_bad.txt");
+    assert_single(&findings, rules::WALL_CLOCK, 2);
+}
+
+#[test]
+fn thread_current_fires() {
+    let findings = lint_as_engine("thread_current_bad.txt");
+    assert_single(&findings, rules::THREAD_CURRENT, 2);
+}
+
+#[test]
+fn float_sum_over_unordered_iterator_fires() {
+    let findings = lint_as_engine("float_sum_bad.txt");
+    assert_single(&findings, rules::UNORDERED_FLOAT_SUM, 2);
+    let findings = lint_as_engine("float_sum_fold_bad.txt");
+    assert_single(&findings, rules::UNORDERED_FLOAT_SUM, 2);
+}
+
+#[test]
+fn ordered_or_integer_reductions_are_fine() {
+    let findings = lint_as_engine("float_sum_ok.txt");
+    assert_eq!(findings, vec![], "{findings:#?}");
+}
+
+#[test]
+fn panic_hygiene_fires_on_unwrap_and_undocumented_expect() {
+    let findings = lint_as_engine("panic_unwrap_bad.txt");
+    assert_single(&findings, rules::PANIC_HYGIENE, 2);
+    let findings = lint_as_engine("panic_expect_bad.txt");
+    assert_single(&findings, rules::PANIC_HYGIENE, 2);
+}
+
+#[test]
+fn panic_hygiene_accepts_documented_expect_allow_and_tests() {
+    let findings = lint_as_engine("panic_ok.txt");
+    assert_eq!(findings, vec![], "{findings:#?}");
+}
+
+#[test]
+fn panic_hygiene_does_not_apply_to_binaries() {
+    let findings = slb_lint::lint_source("src/bin/fixture.rs", &fixture("panic_unwrap_bad.txt"));
+    assert_eq!(findings, vec![], "{findings:#?}");
+}
+
+#[test]
+fn bad_allow_comments_are_findings_and_do_not_suppress() {
+    let findings = lint_as_engine("bad_allow.txt");
+    let got = rules::rule_lines(&findings);
+    let want: std::collections::BTreeSet<(&str, u32)> = [
+        (rules::BAD_ALLOW, 1),     // missing reason
+        (rules::PANIC_HYGIENE, 3), // ... so the unwrap still fires
+        (rules::BAD_ALLOW, 6),     // unknown rule name
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(got, want, "{findings:#?}");
+}
+
+#[test]
+fn comments_strings_and_test_modules_never_fire() {
+    let findings = lint_as_engine("false_positive.txt");
+    assert_eq!(findings, vec![], "{findings:#?}");
+}
+
+/// The acceptance-criteria demonstration: each deliberately seeded
+/// violation produces exactly one finding carrying file, line, and rule,
+/// and the JSON rendering carries all three.
+#[test]
+fn seeded_violations_produce_exactly_one_finding_each_with_json() {
+    let cases = [
+        (
+            "stream_literal_bad.txt",
+            "crates/analysis/src/fixture.rs",
+            rules::STREAM_LITERAL,
+            4,
+        ),
+        (
+            "stream_duplicate_bad.txt",
+            "crates/core/src/fixture.rs",
+            rules::STREAM_DUPLICATE,
+            5,
+        ),
+        (
+            "map_iteration_bad.txt",
+            "crates/core/src/engine/fixture.rs",
+            rules::MAP_ITERATION,
+            1,
+        ),
+    ];
+    for (name, path, rule, line) in cases {
+        let findings = slb_lint::lint_source(path, &fixture(name));
+        assert_eq!(findings.len(), 1, "{name}: {findings:#?}");
+        let f = &findings[0];
+        assert_eq!(
+            (f.file.as_str(), f.rule, f.line),
+            (path, rule, line),
+            "{name}"
+        );
+        let json = slb_lint::to_json(&findings);
+        assert!(json.contains("\"count\": 1"), "{name}: {json}");
+        assert!(
+            json.contains(&format!("\"file\": \"{path}\"")),
+            "{name}: {json}"
+        );
+        assert!(
+            json.contains(&format!("\"line\": {line}")),
+            "{name}: {json}"
+        );
+        assert!(
+            json.contains(&format!("\"rule\": \"{rule}\"")),
+            "{name}: {json}"
+        );
+        // Human rendering is the clickable file:line form.
+        assert!(f
+            .to_string()
+            .starts_with(&format!("{path}:{line}: [{rule}]")));
+    }
+}

@@ -1,0 +1,85 @@
+//! The workspace-level integration test: `slb-lint` over the real source
+//! tree must be clean. This is the machine-checked form of the
+//! determinism contract — any new magic stream id, unordered-map use, or
+//! bare `unwrap()` in engine code fails `cargo test` before it can ship.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+#[test]
+fn real_workspace_tree_is_lint_clean() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root detection broke: {root:?}"
+    );
+    let findings = slb_lint::lint_workspace(root).expect("workspace tree is readable");
+    assert!(
+        findings.is_empty(),
+        "slb-lint found {} violation(s) in the workspace:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_walk_sees_the_whole_tree() {
+    // Guard against the walker silently looking at the wrong directory
+    // (which would make the cleanliness test above vacuous): the real
+    // tree has dozens of Rust files across the known top-level entries.
+    let root = workspace_root();
+    let files = slb_lint::walk::collect_rs_files(root).expect("workspace tree is readable");
+    let rels: Vec<String> = files
+        .iter()
+        .map(|p| slb_lint::walk::relative(root, p))
+        .collect();
+    assert!(rels.len() > 60, "only {} files found: {rels:?}", rels.len());
+    for expected in [
+        "crates/core/src/rng.rs",
+        "crates/core/src/engine/kernel.rs",
+        "crates/analysis/src/sweep.rs",
+        "shims/rand/src/lib.rs",
+        "src/bin/slb.rs",
+    ] {
+        assert!(rels.iter().any(|r| r == expected), "missing {expected}");
+    }
+    // ... and never descends into generated or fixture trees.
+    assert!(
+        rels.iter()
+            .all(|r| !r.contains("target/") && !r.contains("fixtures/")),
+        "walker descended into a skipped tree"
+    );
+}
+
+#[test]
+fn registry_is_visible_to_the_duplicate_rule() {
+    // Sanity-check that `stream-duplicate` actually parses the real
+    // registry (an empty parse would make the rule vacuously quiet):
+    // seeding a collision into the real rng.rs source must fire.
+    let root = workspace_root();
+    let rng = root.join("crates/core/src/rng.rs");
+    let source = std::fs::read_to_string(rng).expect("rng.rs exists");
+    assert!(
+        source.contains("pub mod streams"),
+        "registry module moved; update slb-lint's docs and this test"
+    );
+    let seeded = source.replace("pub const ARRIVAL: u64 = 1;", "pub const ARRIVAL: u64 = 0;");
+    assert_ne!(source, seeded, "seeding the collision failed");
+    let findings = slb_lint::lint_source("crates/core/src/rng.rs", &seeded);
+    let dup: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == slb_lint::rules::STREAM_DUPLICATE)
+        .collect();
+    assert_eq!(dup.len(), 1, "{findings:#?}");
+    assert!(dup[0].message.contains("ARRIVAL") && dup[0].message.contains("KERNEL"));
+}

@@ -1073,7 +1073,10 @@ mod tests {
         assert!(cells.iter().all(|c| c.is_dynamic()));
         // speed-dyn is the innermost axis.
         assert_eq!(cells[0].speed_dyn, None);
-        assert_eq!(cells[1].speed_dyn, Some(SpeedDynamics::Drift { sigma: 0.1 }));
+        assert_eq!(
+            cells[1].speed_dyn,
+            Some(SpeedDynamics::Drift { sigma: 0.1 })
+        );
         assert_eq!(
             cells[0].completions,
             Some(CompletionProcess::Rate { mu: 0.05 })

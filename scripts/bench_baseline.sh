@@ -18,6 +18,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Preflight: never record a baseline from a tree that violates the
+# determinism invariants — a nondeterministic engine makes the numbers
+# unreproducible, so the lint gate runs before any cycle is spent.
+echo "preflight: slb-lint ..." >&2
+cargo run -q -p slb_lint
+
 out="${1:-BENCH_baseline.json}"
 mkdir -p "$(dirname "$out")"
 min_speedup="${MIN_SPEEDUP:-100}"

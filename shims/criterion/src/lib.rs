@@ -231,8 +231,7 @@ impl Bencher {
                 black_box(routine(input));
                 acc += t.elapsed();
             }
-            self.samples_ns
-                .push(acc.as_nanos() as f64 / batch as f64);
+            self.samples_ns.push(acc.as_nanos() as f64 / batch as f64);
             if run_start.elapsed() > self.budget.mul_f64(2.0) {
                 break; // Slow benchmark: settle for fewer samples.
             }
