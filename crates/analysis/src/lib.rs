@@ -46,6 +46,7 @@
 
 pub mod convergence;
 pub mod runner;
+pub mod serve;
 pub mod stats;
 pub mod sweep;
 pub mod tables;

@@ -1,0 +1,382 @@
+//! Artifact layer for `slb serve`: one row per routing policy.
+//!
+//! [`run_serve`] fans the requested policies across worker threads (one
+//! sequential event-loop run per policy — see [`slb_serve`] for the
+//! determinism argument), applies the measurement window, and renders a
+//! sweep-style CSV/JSON artifact: offered/completed jobs, throughput,
+//! latency mean and nearest-rank p50/p95/p99, per-backend utilization,
+//! and the Nash gap of the backlog state at the horizon.
+//!
+//! # Seeds
+//!
+//! * `scenario seed = derive_seed(base, 0, trial::SCENARIO)` — samples
+//!   the speed vector and masters the traffic streams. Shared by every
+//!   policy, so all rows face identical speeds and open-loop traffic.
+//! * `policy seed = derive_seed(base, policy_index, trial::SIM)` —
+//!   masters the per-job routing coins of that policy's run.
+
+use crate::runner::run_cell_trials;
+use crate::stats::Summary;
+use slb_core::rng::{derive_seed, rng_for, streams};
+use slb_graphs::generators::Family;
+use slb_serve::{PolicyKind, ServeConfig, ServeOutcome, TICKS_PER_UNIT};
+use slb_workloads::speeds::SpeedDistribution;
+use slb_workloads::sweep::{family_grid_label, speeds_grid_label, weights_grid_label};
+use slb_workloads::traffic::{closed_label, traffic_label};
+use slb_workloads::weights::WeightDistribution;
+use slb_workloads::TrafficSpec;
+use std::fmt::Write as _;
+
+/// A complete `slb serve` request: scenario plus the policy roster.
+#[derive(Debug, Clone)]
+pub struct ServeSpec {
+    /// Backend topology.
+    pub family: Family,
+    /// Policies to run, one artifact row each.
+    pub policies: Vec<PolicyKind>,
+    /// Backend speed distribution (sampled once, shared by all rows).
+    pub speeds: SpeedDistribution,
+    /// Job-weight distribution.
+    pub weights: WeightDistribution,
+    /// Traffic sources.
+    pub traffic: TrafficSpec,
+    /// Units of virtual time during which traffic is generated.
+    pub horizon: u64,
+    /// Measurement-window offset in units: `s ≥ 0` measures `[s, H)`
+    /// (skip warmup), `s < 0` measures the final `|s|` units `[H+s, H)`.
+    pub shift: f64,
+}
+
+/// One policy's measured row.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// The policy.
+    pub policy: PolicyKind,
+    /// Jobs submitted within the horizon (whole run, window-independent).
+    pub jobs_offered: u64,
+    /// Jobs completed inside the measurement window.
+    pub jobs_completed: u64,
+    /// Completions per unit of virtual time inside the window — the
+    /// observable throughput ceiling under overload.
+    pub throughput: f64,
+    /// Latency (units) of jobs *arriving* in the window; every offered
+    /// job completes (the run drains), so nothing is censored.
+    pub latency: Summary,
+    /// Mean per-backend utilization over `[0, H)`.
+    pub util_mean: f64,
+    /// Minimum per-backend utilization.
+    pub util_min: f64,
+    /// Maximum per-backend utilization.
+    pub util_max: f64,
+    /// Nash gap of the backlog state at the horizon.
+    pub nash_gap: f64,
+}
+
+/// The full artifact.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The request.
+    pub spec: ServeSpec,
+    /// Base seed of the run.
+    pub base_seed: u64,
+    /// Backend count of the built topology.
+    pub n: usize,
+    /// One row per requested policy, in request order.
+    pub rows: Vec<PolicyRow>,
+}
+
+/// Columns of [`ServeReport::to_csv`].
+pub const SERVE_CSV_HEADER: &str = "policy,graph,n,speeds,weights,traffic,closed,horizon,\
+     shift,base_seed,jobs_offered,jobs_completed,throughput,latency_mean,latency_p50,\
+     latency_p95,latency_p99,util_mean,util_min,util_max,nash_gap";
+
+/// Resolves the measurement window `[start, horizon)` in ticks.
+///
+/// # Panics
+///
+/// Panics if the shift consumes the whole horizon (empty window).
+fn window_start_ticks(horizon: u64, shift: f64) -> u64 {
+    let horizon_ticks = horizon * TICKS_PER_UNIT;
+    let offset = (shift.abs() * TICKS_PER_UNIT as f64).round() as u64;
+    assert!(
+        offset < horizon_ticks,
+        "measurement shift {shift} leaves an empty window over horizon {horizon}"
+    );
+    if shift >= 0.0 {
+        offset
+    } else {
+        horizon_ticks - offset
+    }
+}
+
+/// Reduces one run to its artifact row.
+fn measure(policy: PolicyKind, outcome: &ServeOutcome, horizon: u64, shift: f64) -> PolicyRow {
+    let horizon_ticks = horizon * TICKS_PER_UNIT;
+    let start = window_start_ticks(horizon, shift);
+    let window_units = (horizon_ticks - start) as f64 / TICKS_PER_UNIT as f64;
+
+    let jobs_completed = outcome
+        .jobs
+        .iter()
+        .filter(|j| (start..horizon_ticks).contains(&j.finish))
+        .count() as u64;
+    let latencies: Vec<f64> = outcome
+        .jobs
+        .iter()
+        .filter(|j| (start..horizon_ticks).contains(&j.arrival))
+        .map(|j| (j.finish - j.arrival) as f64 / TICKS_PER_UNIT as f64)
+        .collect();
+    let latency = if latencies.is_empty() {
+        Summary::empty()
+    } else {
+        Summary::of(&latencies)
+    };
+
+    let utils: Vec<f64> = outcome
+        .busy_ticks
+        .iter()
+        .map(|&b| b as f64 / horizon_ticks as f64)
+        .collect();
+    let util_mean = utils.iter().sum::<f64>() / utils.len() as f64;
+    let util_min = utils.iter().copied().fold(f64::INFINITY, f64::min);
+    let util_max = utils.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+    PolicyRow {
+        policy,
+        jobs_offered: outcome.jobs_offered,
+        jobs_completed,
+        throughput: jobs_completed as f64 / window_units,
+        latency,
+        util_mean,
+        util_min,
+        util_max,
+        nash_gap: outcome.nash_gap_at_horizon,
+    }
+}
+
+/// Runs every requested policy and assembles the artifact. Policies fan
+/// across `threads` workers; each run is sequential and seeded purely by
+/// `(base_seed, policy index)`, so the report is byte-identical at any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if the spec has no policies, no traffic, a zero horizon, or a
+/// shift that empties the measurement window.
+pub fn run_serve(spec: &ServeSpec, base_seed: u64, threads: usize) -> ServeReport {
+    assert!(!spec.policies.is_empty(), "serve needs at least one policy");
+    // Validate the window before spending any simulation time.
+    let _ = window_start_ticks(spec.horizon, spec.shift);
+
+    let graph = spec.family.build();
+    let n = graph.node_count();
+    let mut scenario_rng = rng_for(base_seed, 0, streams::trial::SCENARIO);
+    let speeds = spec.speeds.sample(n, &mut scenario_rng);
+    let scenario_seed = derive_seed(base_seed, 0, streams::trial::SCENARIO);
+
+    let keys: Vec<u64> = (0..spec.policies.len() as u64).collect();
+    let rows = run_cell_trials(&keys, 1, base_seed, threads, |pos, _trial, _seed| {
+        let policy = spec.policies[pos];
+        let config = ServeConfig {
+            graph: &graph,
+            speeds: &speeds,
+            traffic: spec.traffic,
+            weights: spec.weights,
+            horizon: spec.horizon,
+            scenario_seed,
+            policy_seed: derive_seed(base_seed, pos as u64, streams::trial::SIM),
+        };
+        measure(
+            policy,
+            &slb_serve::run(&config, policy),
+            spec.horizon,
+            spec.shift,
+        )
+    })
+    .into_iter()
+    .map(|mut trials| trials.remove(0))
+    .collect();
+
+    ServeReport {
+        spec: spec.clone(),
+        base_seed,
+        n,
+        rows,
+    }
+}
+
+impl ServeReport {
+    /// Renders the CSV artifact ([`SERVE_CSV_HEADER`] columns).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(SERVE_CSV_HEADER);
+        out.push('\n');
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                row.policy.label(),
+                family_grid_label(self.spec.family),
+                self.n,
+                speeds_grid_label(self.spec.speeds),
+                weights_grid_label(self.spec.weights),
+                traffic_label(self.spec.traffic.open),
+                closed_label(self.spec.traffic.closed),
+                self.spec.horizon,
+                self.spec.shift,
+                self.base_seed,
+                row.jobs_offered,
+                row.jobs_completed,
+                row.throughput,
+                row.latency.mean,
+                row.latency.p50,
+                row.latency.p95,
+                row.latency.p99,
+                row.util_mean,
+                row.util_min,
+                row.util_max,
+                row.nash_gap,
+            );
+        }
+        out
+    }
+
+    /// Renders the JSON artifact (same fields as the CSV).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "  {{\"policy\":\"{}\",\"graph\":\"{}\",\"n\":{},\"speeds\":\"{}\",\
+                 \"weights\":\"{}\",\"traffic\":\"{}\",\"closed\":\"{}\",\"horizon\":{},\
+                 \"shift\":{},\"base_seed\":{},\"jobs_offered\":{},\"jobs_completed\":{},\
+                 \"throughput\":{},\"latency_mean\":{},\"latency_p50\":{},\"latency_p95\":{},\
+                 \"latency_p99\":{},\"util_mean\":{},\"util_min\":{},\"util_max\":{},\
+                 \"nash_gap\":{}}}",
+                row.policy.label(),
+                family_grid_label(self.spec.family),
+                self.n,
+                speeds_grid_label(self.spec.speeds),
+                weights_grid_label(self.spec.weights),
+                traffic_label(self.spec.traffic.open),
+                closed_label(self.spec.traffic.closed),
+                self.spec.horizon,
+                self.spec.shift,
+                self.base_seed,
+                row.jobs_offered,
+                row.jobs_completed,
+                row.throughput,
+                row.latency.mean,
+                row.latency.p50,
+                row.latency.p95,
+                row.latency.p99,
+                row.util_mean,
+                row.util_min,
+                row.util_max,
+                row.nash_gap,
+            );
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slb_workloads::traffic::{parse_closed, parse_traffic};
+
+    fn small_spec() -> ServeSpec {
+        ServeSpec {
+            family: Family::Ring { n: 8 },
+            policies: PolicyKind::ALL.to_vec(),
+            speeds: SpeedDistribution::Alternating { classes: 2 },
+            weights: WeightDistribution::Unit,
+            traffic: TrafficSpec {
+                open: parse_traffic("poisson:4").expect("valid traffic"),
+                closed: parse_closed("2:1.0").expect("valid closed loop"),
+            },
+            horizon: 30,
+            shift: -20.0,
+        }
+    }
+
+    #[test]
+    fn serve_artifact_is_thread_count_invariant() {
+        let spec = small_spec();
+        let one = run_serve(&spec, 42, 1);
+        let eight = run_serve(&spec, 42, 8);
+        assert_eq!(one.to_csv(), eight.to_csv());
+        assert_eq!(one.to_json(), eight.to_json());
+    }
+
+    #[test]
+    fn serve_rows_cover_every_policy_in_order() {
+        let report = run_serve(&small_spec(), 7, 4);
+        assert_eq!(report.rows.len(), 6);
+        for (row, kind) in report.rows.iter().zip(PolicyKind::ALL) {
+            assert_eq!(row.policy, kind);
+            assert!(row.jobs_offered > 0);
+            assert!(row.latency.p50 <= row.latency.p95);
+            assert!(row.latency.p95 <= row.latency.p99);
+            assert!((0.0..=1.0).contains(&row.util_mean), "{}", row.util_mean);
+            assert!(row.util_min <= row.util_mean && row.util_mean <= row.util_max);
+            assert!(row.nash_gap >= 0.0);
+        }
+        // The closed loop reacts to each policy's completions, so offered
+        // loads may differ across rows — but never by more than the
+        // closed-loop population can generate versus sit idle.
+        let offered: Vec<u64> = report.rows.iter().map(|r| r.jobs_offered).collect();
+        let open_only: u64 = {
+            let mut spec = small_spec();
+            spec.traffic.closed = None;
+            spec.policies = vec![PolicyKind::RoundRobin];
+            run_serve(&spec, 7, 1).rows[0].jobs_offered
+        };
+        for &o in &offered {
+            assert!(
+                o >= open_only,
+                "closed loop should only add jobs: {offered:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn csv_shape_matches_header() {
+        let report = run_serve(&small_spec(), 3, 2);
+        let csv = report.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().expect("header line");
+        assert_eq!(header, SERVE_CSV_HEADER);
+        let columns = header.split(',').count();
+        for line in lines {
+            assert_eq!(line.split(',').count(), columns, "ragged row: {line}");
+        }
+        // JSON rows parse field-for-field with the CSV.
+        let json = report.to_json();
+        assert_eq!(json.matches("\"policy\"").count(), 6);
+        assert!(json.ends_with("]\n"));
+    }
+
+    #[test]
+    fn measurement_window_shift_changes_the_sample() {
+        let mut spec = small_spec();
+        spec.shift = 0.0;
+        let full = run_serve(&spec, 9, 1);
+        spec.shift = -5.0;
+        let tail = run_serve(&spec, 9, 1);
+        for (a, b) in full.rows.iter().zip(&tail.rows) {
+            // Same run, smaller window: fewer (or equal) completions.
+            assert_eq!(a.jobs_offered, b.jobs_offered);
+            assert!(b.jobs_completed <= a.jobs_completed);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn shift_past_the_horizon_panics() {
+        let mut spec = small_spec();
+        spec.shift = spec.horizon as f64;
+        let _ = run_serve(&spec, 1, 1);
+    }
+}

@@ -28,6 +28,32 @@ pub struct Summary {
     pub max: f64,
     /// Median (mean of middle two for even counts).
     pub median: f64,
+    /// 50th percentile, nearest-rank (the ⌈0.50·n⌉-th smallest; unlike
+    /// `median` it never interpolates, so it is always an observation).
+    pub p50: f64,
+    /// 95th percentile, nearest-rank.
+    pub p95: f64,
+    /// 99th percentile, nearest-rank.
+    pub p99: f64,
+}
+
+/// The nearest-rank `q`-quantile of an ascending-sorted sample: the
+/// `⌈q·n⌉`-th smallest observation (1-indexed), the `q → 0` limit being
+/// the minimum. Always an element of the sample — no interpolation — so
+/// quantiles of integer-valued samples (latencies in ticks, round counts)
+/// stay exactly representable and artifact bytes stay platform-stable.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile level {q} outside [0, 1]"
+    );
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
 }
 
 impl Summary {
@@ -63,6 +89,28 @@ impl Summary {
             min: sorted[0],
             max: sorted[count - 1],
             median,
+            p50: quantile_nearest_rank(&sorted, 0.50),
+            p95: quantile_nearest_rank(&sorted, 0.95),
+            p99: quantile_nearest_rank(&sorted, 0.99),
+        }
+    }
+
+    /// The all-zero summary of an empty sample (`count == 0`): the
+    /// schema-stable placeholder for metrics with no observations —
+    /// unsupported sweep cells, or cells whose every trial was censored.
+    /// [`Summary::of`] rejects empty samples, so this is the only way an
+    /// artifact row renders one.
+    pub fn empty() -> Summary {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+            median: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
         }
     }
 
@@ -337,6 +385,60 @@ mod tests {
     #[should_panic(expected = "summary of sample containing NaN")]
     fn summary_rejects_nan() {
         let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn nearest_rank_quantiles_on_known_sample() {
+        // 1..=100 sorted: rank ⌈q·100⌉ is exactly q·100 for these levels.
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile_nearest_rank(&v, 0.50), 50.0);
+        assert_eq!(quantile_nearest_rank(&v, 0.95), 95.0);
+        assert_eq!(quantile_nearest_rank(&v, 0.99), 99.0);
+        assert_eq!(quantile_nearest_rank(&v, 0.0), 1.0);
+        assert_eq!(quantile_nearest_rank(&v, 1.0), 100.0);
+        // Non-multiple counts round the rank up: ⌈0.5·5⌉ = 3.
+        let odd = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile_nearest_rank(&odd, 0.50), 30.0);
+        assert_eq!(quantile_nearest_rank(&odd, 0.95), 50.0);
+    }
+
+    #[test]
+    fn summary_quantiles_are_sample_elements_not_interpolations() {
+        // Even count: median interpolates (2.5), nearest-rank p50 does
+        // not (⌈0.5·4⌉ = 2nd smallest = 2).
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.p95, 4.0);
+        assert_eq!(s.p99, 4.0);
+        // Singleton: every quantile is the observation itself.
+        let one = Summary::of(&[7.5]);
+        assert_eq!((one.p50, one.p95, one.p99), (7.5, 7.5, 7.5));
+    }
+
+    #[test]
+    fn summary_quantiles_order_and_tail_behavior() {
+        // A long-tailed sample: p50 ≤ p95 ≤ p99 ≤ max, and the tail
+        // quantiles respond to the outlier while p50 does not.
+        let mut v: Vec<f64> = (0..99).map(|i| i as f64 / 100.0).collect();
+        v.push(1000.0);
+        let s = Summary::of(&v);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert!(s.p50 < 1.0);
+        assert_eq!(s.p99, 0.98);
+        assert_eq!(s.max, 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty sample")]
+    fn quantile_of_empty_sample_panics() {
+        let _ = quantile_nearest_rank(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_out_of_range_level() {
+        let _ = quantile_nearest_rank(&[1.0], 1.5);
     }
 
     #[test]

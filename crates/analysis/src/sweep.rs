@@ -127,9 +127,16 @@ pub struct CellStats {
     /// static cells, whose quality metric is the stop rule itself).
     pub nash_gap_tavg: Summary,
     /// Rounds from the speed shock until the Nash gap first returns to
-    /// its pre-shock level (dynamic cells with `speed-dyn=shock:…`;
-    /// 0 otherwise, horizon-minus-shock when censored).
+    /// its pre-shock level, over the trials that *did* recover (dynamic
+    /// cells with `speed-dyn=shock:…`; 0 otherwise). Trials whose gap
+    /// never re-entered the band are censored: excluded from this
+    /// summary and counted in [`CellStats::unrecovered_trials`] instead
+    /// of being folded in at horizon − shock (which was
+    /// indistinguishable from a genuine recovery of that length).
     pub recovery_rounds: Summary,
+    /// Trials censored out of `recovery_rounds`: the shock fired but the
+    /// gap never returned to the 5% band within the horizon.
+    pub unrecovered_trials: usize,
 }
 
 /// One row of the sweep artifact.
@@ -266,8 +273,10 @@ struct RawTrial {
     psi0_final: f64,
     /// Time-averaged Nash gap (dynamic trials; 0 for static trials).
     nash_gap_tavg: f64,
-    /// Post-shock recovery rounds (dynamic shock trials; 0 otherwise).
-    recovery_rounds: f64,
+    /// Post-shock recovery rounds: `Some(r)` when observed (0 for
+    /// trials without a shock), `None` when censored — the shock fired
+    /// but the gap never re-entered the band within the horizon.
+    recovery_rounds: Option<f64>,
 }
 
 /// The uniform per-round interface the stop-rule driver runs against.
@@ -354,7 +363,7 @@ fn run_sequential<P: slb_core::protocol::Protocol>(
             system.tasks().total_weight(),
         ),
         nash_gap_tavg: 0.0,
-        recovery_rounds: 0.0,
+        recovery_rounds: Some(0.0),
     }
 }
 
@@ -378,7 +387,7 @@ fn drive<E: CellEngine>(engine: &mut E, stop: StopRule, max_rounds: u64) -> RawT
                 migrations,
                 psi0_final: engine.psi0(),
                 nash_gap_tavg: 0.0,
-                recovery_rounds: 0.0,
+                recovery_rounds: Some(0.0),
             };
         }
         if executed == max_rounds {
@@ -398,7 +407,7 @@ fn drive<E: CellEngine>(engine: &mut E, stop: StopRule, max_rounds: u64) -> RawT
         migrations,
         psi0_final: engine.psi0(),
         nash_gap_tavg: 0.0,
-        recovery_rounds: 0.0,
+        recovery_rounds: Some(0.0),
     }
 }
 
@@ -430,10 +439,14 @@ fn run_dynamic(sim: &mut DynamicSim, threshold: Threshold, max_rounds: u64) -> R
         }
     }
     let recovery_rounds = match (shock_round, recovery) {
-        (None, _) => 0.0,
-        (Some(_), Some(rounds)) => rounds as f64,
-        // Censored: the gap never came back within the horizon.
-        (Some(sr), None) => (max_rounds - sr) as f64,
+        (None, _) => Some(0.0),
+        (Some(_), Some(rounds)) => Some(rounds as f64),
+        // Censored: the gap never came back within the horizon. Folding
+        // `horizon − shock` into the mean here made a never-recovered
+        // trial indistinguishable from one that genuinely recovered at
+        // the horizon's edge; censored trials are excluded from the
+        // summary and surface in `unrecovered_trials` instead.
+        (Some(_), None) => None,
     };
     RawTrial {
         rounds: max_rounds,
@@ -626,7 +639,12 @@ pub fn run_sweep(spec: &SweepSpec, config: SweepConfig) -> Result<SweepOutcome, 
             let migrations: Vec<f64> = raw.iter().map(|t| t.migrations as f64).collect();
             let psi0: Vec<f64> = raw.iter().map(|t| t.psi0_final).collect();
             let gaps: Vec<f64> = raw.iter().map(|t| t.nash_gap_tavg).collect();
-            let recoveries: Vec<f64> = raw.iter().map(|t| t.recovery_rounds).collect();
+            // Censored trials (shock fired, gap never re-entered the
+            // band) are excluded from the recovery summary and counted
+            // separately; a cell whose every trial was censored renders
+            // the empty summary rather than a fabricated mean.
+            let recoveries: Vec<f64> = raw.iter().filter_map(|t| t.recovery_rounds).collect();
+            let unrecovered_trials = raw.iter().filter(|t| t.recovery_rounds.is_none()).count();
             let stats = Some(CellStats {
                 reached_fraction: raw.iter().filter(|t| t.reached).count() as f64
                     / raw.len() as f64,
@@ -634,7 +652,12 @@ pub fn run_sweep(spec: &SweepSpec, config: SweepConfig) -> Result<SweepOutcome, 
                 migrations: Summary::of(&migrations),
                 psi0_final: Summary::of(&psi0),
                 nash_gap_tavg: Summary::of(&gaps),
-                recovery_rounds: Summary::of(&recoveries),
+                recovery_rounds: if recoveries.is_empty() {
+                    Summary::empty()
+                } else {
+                    Summary::of(&recoveries)
+                },
+                unrecovered_trials,
             });
             CellResult {
                 index,
@@ -660,20 +683,13 @@ pub const CSV_HEADER: &str = "cell,graph,n,m,protocol,engine,speeds,weights,plac
                               arrivals,completions,churn,speed-dyn,trials,base_seed,max_rounds,\
                               reached_fraction,rounds_mean,rounds_std,rounds_min,rounds_median,\
                               rounds_max,migrations_mean,psi0_final_mean,nash_gap_tavg_mean,\
-                              recovery_rounds_mean";
+                              recovery_rounds_mean,unrecovered_trials";
 
 impl CellStats {
     /// The all-zero statistics block emitted for unsupported cells, so
     /// CSV and JSON rows keep a homogeneous schema across the whole grid.
     fn zeroed() -> CellStats {
-        let zero = Summary {
-            count: 0,
-            mean: 0.0,
-            std_dev: 0.0,
-            min: 0.0,
-            max: 0.0,
-            median: 0.0,
-        };
+        let zero = Summary::empty();
         CellStats {
             reached_fraction: 0.0,
             rounds: zero,
@@ -681,6 +697,7 @@ impl CellStats {
             psi0_final: zero,
             nash_gap_tavg: zero,
             recovery_rounds: zero,
+            unrecovered_trials: 0,
         }
     }
 }
@@ -710,7 +727,7 @@ impl SweepOutcome {
             let s = cell.stats.as_ref().unwrap_or(&zero);
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 cell.index,
                 family_grid_label(cell.spec.graph),
                 cell.n,
@@ -738,6 +755,7 @@ impl SweepOutcome {
                 s.psi0_final.mean,
                 s.nash_gap_tavg.mean,
                 s.recovery_rounds.mean,
+                s.unrecovered_trials,
             );
         }
         out
@@ -782,7 +800,8 @@ impl SweepOutcome {
                 out,
                 ",\"reached_fraction\":{},\"rounds\":{{\"mean\":{},\"std\":{},\"min\":{},\
                  \"median\":{},\"max\":{}}},\"migrations_mean\":{},\"psi0_final_mean\":{},\
-                 \"nash_gap_tavg_mean\":{},\"recovery_rounds_mean\":{}",
+                 \"nash_gap_tavg_mean\":{},\"recovery_rounds_mean\":{},\
+                 \"unrecovered_trials\":{}",
                 s.reached_fraction,
                 s.rounds.mean,
                 s.rounds.std_dev,
@@ -793,6 +812,7 @@ impl SweepOutcome {
                 s.psi0_final.mean,
                 s.nash_gap_tavg.mean,
                 s.recovery_rounds.mean,
+                s.unrecovered_trials,
             );
             out.push('}');
             if i + 1 < self.cells.len() {
@@ -1061,10 +1081,18 @@ mod tests {
             assert!(s.migrations.min > 0.0, "a loaded system must migrate");
             assert!(s.nash_gap_tavg.mean > 0.0, "arrivals keep the gap open");
             assert!(s.nash_gap_tavg.mean.is_finite());
-            // The shock fires inside the horizon, so recovery is
-            // measured (possibly censored at horizon − shock = 80).
-            assert!(s.recovery_rounds.mean >= 1.0);
-            assert!(s.recovery_rounds.max <= 80.0);
+            // The shock fires inside the horizon: every trial is either
+            // a measured recovery (≥ 1 round, within horizon − shock =
+            // 80) or censored into the unrecovered count.
+            assert_eq!(
+                s.recovery_rounds.count + s.unrecovered_trials,
+                2,
+                "recovered + censored must partition the trials"
+            );
+            if s.recovery_rounds.count > 0 {
+                assert!(s.recovery_rounds.min >= 1.0);
+                assert!(s.recovery_rounds.max <= 80.0);
+            }
         }
         let csv = out.to_csv();
         assert_eq!(csv.lines().next().unwrap(), CSV_HEADER);
@@ -1121,9 +1149,39 @@ mod tests {
         let s = out.cells[0].stats.as_ref().unwrap();
         assert_eq!(s.nash_gap_tavg.mean, 0.0);
         assert_eq!(s.recovery_rounds.mean, 0.0);
+        assert_eq!(s.unrecovered_trials, 0);
         let row = out.to_csv().lines().nth(1).unwrap().to_string();
         assert!(row.contains(",none,none,none,none,"), "row: {row}");
-        assert!(row.ends_with(",0,0"), "row: {row}");
+        assert!(row.ends_with(",0,0,0"), "row: {row}");
+    }
+
+    #[test]
+    fn unrecoverable_shock_is_censored_not_averaged() {
+        // Regression: a shock one round before the horizon's edge leaves
+        // the kernel a single round to re-balance a 4× capacity jolt on
+        // half the ring — the gap cannot re-enter the 5% band, so every
+        // trial is censored. The old aggregation folded such trials into
+        // `recovery_rounds_mean` at horizon − shock (here 1), passing a
+        // never-recovered cell off as one that recovered in exactly one
+        // round.
+        let spec = small_spec(&[
+            "graph=ring:8",
+            "tasks-per-node=8",
+            "protocol=alg1",
+            "speed-dyn=shock:40:0.5",
+            "trials=3",
+            "max-rounds=41",
+        ]);
+        let out = run_sweep(&spec, SweepConfig::sequential(21)).unwrap();
+        let s = out.cells[0].stats.as_ref().unwrap();
+        assert_eq!(s.unrecovered_trials, 3, "every trial must be censored");
+        assert_eq!(s.recovery_rounds.count, 0);
+        assert_eq!(
+            s.recovery_rounds.mean, 0.0,
+            "censored trials must not fabricate a recovery mean"
+        );
+        let row = out.to_csv().lines().nth(1).unwrap().to_string();
+        assert!(row.ends_with(",0,3"), "row: {row}");
     }
 
     #[test]
@@ -1166,7 +1224,7 @@ mod tests {
         let row = csv.lines().nth(1).unwrap();
         assert!(row.contains(",unsupported,"), "row: {row}");
         // Zeroed metrics and zero trials, not fabricated measurements.
-        assert!(row.ends_with(",10,0,0,0,0,0,0,0,0,0,0"), "row: {row}");
+        assert!(row.ends_with(",10,0,0,0,0,0,0,0,0,0,0,0"), "row: {row}");
         let json = outcome.to_json();
         assert!(json.contains("\"engine\":\"unsupported\""));
         assert!(json.contains("\"trials\":0"));

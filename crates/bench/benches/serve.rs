@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the serve event loop: one full
+//! fixed-traffic run (generate + route + drain) per routing policy on a
+//! two-speed ring:64.
+//!
+//! The `serve/route` group × id naming is load-bearing:
+//! `scripts/bench_baseline.sh` parses this harness's stdout into the
+//! committed BENCH snapshots alongside the `round/*` groups; each
+//! measured iteration is one complete run of ~`RATE × HORIZON` jobs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slb_core::model::SpeedVector;
+use slb_core::rng::{derive_seed, streams};
+use slb_graphs::generators;
+use slb_serve::{run, PolicyKind, ServeConfig};
+use slb_workloads::traffic::{OpenLoop, TrafficSpec};
+use slb_workloads::weights::WeightDistribution;
+
+/// Offered open-loop rate (jobs per unit of virtual time).
+const RATE: f64 = 256.0;
+/// Units of virtual time during which traffic is generated.
+const HORIZON: u64 = 25;
+
+fn serve_benches(c: &mut Criterion) {
+    let graph = generators::ring(64);
+    let n = graph.node_count();
+    let speeds =
+        SpeedVector::integer((0..n as u64).map(|i| 1 + i % 2).collect()).expect("valid speeds");
+    let scenario_seed = derive_seed(42, 0, streams::trial::SCENARIO);
+
+    let mut group = c.benchmark_group("serve/route");
+    group.sample_size(10);
+    for (pos, kind) in PolicyKind::ALL.into_iter().enumerate() {
+        let config = ServeConfig {
+            graph: &graph,
+            speeds: &speeds,
+            traffic: TrafficSpec {
+                open: Some(OpenLoop { rate: RATE }),
+                closed: None,
+            },
+            weights: WeightDistribution::Unit,
+            horizon: HORIZON,
+            scenario_seed,
+            policy_seed: derive_seed(42, pos as u64, streams::trial::SIM),
+        };
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{}-ring64", kind.label())),
+            |b| b.iter(|| run(&config, kind)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serve_benches);
+criterion_main!(benches);

@@ -200,12 +200,45 @@ pub fn sample_poisson(lambda: f64, rng: &mut StdRng) -> u64 {
         #[allow(clippy::cast_possible_truncation)]
         return x.round().clamp(0.0, lambda + 10.0 * lambda.sqrt()) as u64;
     }
+    poisson_product_walk(lambda, || rng.gen_range(0.0..1.0))
+}
+
+/// Knuth's product-of-uniforms walk for `Poisson(lambda)` in the
+/// small-rate regime, over an explicit uniform source — the exact path of
+/// [`sample_poisson`], exposed so the zero-draw guard can be
+/// regression-tested with an adversarial stream (mirroring
+/// [`binomial_inverse_cdf`]).
+///
+/// `uniform()` draws come from `[0, 1)`, and `gen_range(0.0..1.0)` *can*
+/// return exactly `0.0`. An unguarded product treats that draw as the
+/// entire remaining tail mass vanishing at once: the product collapses to
+/// `0.0 ≤ e^{−λ}` and the walk terminates on the spot, biasing the sample
+/// low (most visibly at small λ, where each draw's termination
+/// probability is largest). A uniform of exactly 0 is the measure-zero
+/// quantile the inverse transform never attains, so non-positive draws
+/// are discarded and redrawn — streams that never draw 0 (every practical
+/// seed) are untouched.
+///
+/// The caller keeps `0 < lambda ≤` [`NORMAL_APPROX_THRESHOLD`]
+/// (debug-asserted); beyond that [`sample_poisson`] switches to the
+/// normal approximation, and `e^{−λ}` would underflow the walk anyway.
+pub fn poisson_product_walk(lambda: f64, mut uniform: impl FnMut() -> f64) -> u64 {
+    debug_assert!(
+        lambda > 0.0 && lambda <= NORMAL_APPROX_THRESHOLD,
+        "product walk requires 0 < λ ≤ threshold, got {lambda}"
+    );
+    let mut positive = move || loop {
+        let u = uniform();
+        if u > 0.0 {
+            return u;
+        }
+    };
     let limit = (-lambda).exp();
     let mut k = 0u64;
-    let mut prod: f64 = rng.gen_range(0.0..1.0);
+    let mut prod: f64 = positive();
     while prod > limit {
         k += 1;
-        prod *= rng.gen_range(0.0..1.0);
+        prod *= positive();
     }
     k
 }
@@ -419,6 +452,70 @@ mod tests {
     fn poisson_rejects_nan_rate() {
         let mut rng = StdRng::seed_from_u64(1);
         sample_poisson(f64::NAN, &mut rng);
+    }
+
+    #[test]
+    fn poisson_walk_guards_the_zero_draw() {
+        // Regression: `gen_range(0.0..1.0)` can return exactly 0.0, and
+        // the unguarded product walk treated it as instant termination.
+        // Scripted stream [0.0, 0.9, 0.02] at λ = 3 (limit e⁻³ ≈ 0.0498):
+        // the old walk saw prod = 0.0 ≤ limit and returned k = 0; the
+        // guard discards the zero, continues with 0.9 (> limit, so k
+        // increments), then 0.9·0.02 = 0.018 < limit stops at k = 1.
+        let mut stream = [0.0, 0.9, 0.02].into_iter();
+        let k = poisson_product_walk(3.0, || stream.next().expect("stream long enough"));
+        assert_eq!(k, 1, "zero draw must be redrawn, not end the walk");
+        // A zero appearing mid-walk is discarded the same way: with
+        // [0.9, 0.0, 0.02] the zero sits where the unguarded walk would
+        // have collapsed the product after the first increment.
+        let mut stream = [0.9, 0.0, 0.02].into_iter();
+        let k = poisson_product_walk(3.0, || stream.next().expect("stream long enough"));
+        assert_eq!(k, 1);
+        // Streams that never draw 0 are byte-for-byte the old walk: the
+        // guard consumes no extra randomness.
+        let mut direct = StdRng::seed_from_u64(77);
+        let mut wrapped = StdRng::seed_from_u64(77);
+        for _ in 0..2000 {
+            let a = sample_poisson(2.5, &mut direct);
+            let b = poisson_product_walk(2.5, || wrapped.gen_range(0.0..1.0));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn poisson_small_lambda_chi_square() {
+        // Distributional regression for the guarded walk: bin 50k draws
+        // at λ = 3 against the exact pmf and require the χ² statistic
+        // under the 0.999 quantile. A sampler biased toward k = 0 (the
+        // zero-draw failure mode) or otherwise distorted fails loudly.
+        let lambda = 3.0f64;
+        let trials = 50_000usize;
+        let bins = 9usize; // k = 0..8, plus a ≥ 9 tail bin.
+        let mut observed = vec![0u64; bins + 1];
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..trials {
+            let k = sample_poisson(lambda, &mut rng) as usize;
+            observed[k.min(bins)] += 1;
+        }
+        // pmf(k) = e^{−λ} λ^k / k!, accumulated so the tail bin is exact.
+        let mut expected = vec![0.0f64; bins + 1];
+        let mut pmf = (-lambda).exp();
+        let mut cdf = 0.0;
+        for (k, slot) in expected.iter_mut().enumerate().take(bins) {
+            if k > 0 {
+                pmf *= lambda / k as f64;
+            }
+            *slot = pmf * trials as f64;
+            cdf += pmf;
+        }
+        expected[bins] = (1.0 - cdf) * trials as f64;
+        let chi2: f64 = observed
+            .iter()
+            .zip(&expected)
+            .map(|(&o, &e)| (o as f64 - e) * (o as f64 - e) / e)
+            .sum();
+        // 0.999 quantile of χ² with 9 degrees of freedom.
+        assert!(chi2 < 27.88, "χ² = {chi2} rejects the Poisson pmf");
     }
 
     #[test]

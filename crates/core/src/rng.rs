@@ -119,6 +119,27 @@ pub mod streams {
         /// Every id in this namespace, for exhaustive collision tests.
         pub const ALL: &[(&str, u64)] = &[("BOOTSTRAP", BOOTSTRAP)];
     }
+
+    /// Service-harness (`slb serve`) streams. Two master lineages:
+    /// [`serve::ARRIVAL`] and [`serve::CLOSED`] derive from the run's
+    /// *scenario* seed (shared by every policy, so all policies face the
+    /// identical open-loop job stream), with the first axis the time slot
+    /// or closed-loop user index respectively; [`serve::POLICY`] derives
+    /// from the *per-policy* seed with the first axis the job index, so
+    /// routing coins are independent of event-loop interleaving.
+    pub mod serve {
+        /// Open-loop traffic: per-slot Poisson counts, arrival offsets,
+        /// entry nodes, and job weights.
+        pub const ARRIVAL: u64 = 0;
+        /// Closed-loop traffic: one stream per user (initial phase,
+        /// entry nodes, job weights).
+        pub const CLOSED: u64 = 1;
+        /// Route-policy coin flips, one stream per routed job.
+        pub const POLICY: u64 = 2;
+        /// Every id in this namespace, for exhaustive collision tests.
+        pub const ALL: &[(&str, u64)] =
+            &[("ARRIVAL", ARRIVAL), ("CLOSED", CLOSED), ("POLICY", POLICY)];
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +234,7 @@ mod tests {
             ("round", streams::round::ALL),
             ("trial", streams::trial::ALL),
             ("analysis", streams::analysis::ALL),
+            ("serve", streams::serve::ALL),
         ] {
             for (i, &(name_a, id_a)) in table.iter().enumerate() {
                 for &(name_b, id_b) in &table[i + 1..] {
@@ -255,16 +277,23 @@ mod tests {
                         );
                     }
                 }
-                // The trial namespace pins the round axis to 0 and shares
-                // its master with nothing above, but pairwise
-                // distinctness within the namespace must still hold.
-                let trial_seeds: Vec<u64> = streams::trial::ALL
-                    .iter()
-                    .map(|&(_, id)| derive_seed(master, 0, id))
-                    .collect();
-                for (i, a) in trial_seeds.iter().enumerate() {
-                    for b in &trial_seeds[i + 1..] {
-                        assert_ne!(a, b, "trial-namespace streams collide");
+                // The trial and serve namespaces share their masters with
+                // nothing above (their lineages differ), but pairwise
+                // distinctness within each namespace must still hold —
+                // trial pins the round axis to 0, serve fans it over
+                // slots/users/jobs.
+                for (namespace, table, axis) in [
+                    ("trial", streams::trial::ALL, 0),
+                    ("serve", streams::serve::ALL, round_idx),
+                ] {
+                    let seeds: Vec<u64> = table
+                        .iter()
+                        .map(|&(_, id)| derive_seed(master, axis, id))
+                        .collect();
+                    for (i, a) in seeds.iter().enumerate() {
+                        for b in &seeds[i + 1..] {
+                            assert_ne!(a, b, "{namespace}-namespace streams collide");
+                        }
                     }
                 }
             }

@@ -24,8 +24,13 @@ pub struct FileClass {
 }
 
 /// The crates whose library code carries the determinism and panic
-/// contracts: the simulation engine and the graph layer it runs on.
-const ENGINE_CRATE_PREFIXES: &[&str] = &["crates/core/src/", "crates/graphs/src/"];
+/// contracts: the simulation engine, the graph layer it runs on, and the
+/// serve event loop (whose virtual clock makes the same promises).
+const ENGINE_CRATE_PREFIXES: &[&str] = &[
+    "crates/core/src/",
+    "crates/graphs/src/",
+    "crates/serve/src/",
+];
 
 /// Classifies a workspace-relative path (with `/` separators).
 pub fn classify(rel: &str) -> FileClass {
@@ -121,6 +126,8 @@ mod tests {
     fn classification_matches_the_scoping_contract() {
         assert!(classify("crates/core/src/engine/kernel.rs").panic);
         assert!(classify("crates/graphs/src/generators.rs").nondet);
+        assert!(classify("crates/serve/src/lib.rs").panic);
+        assert!(classify("crates/serve/src/policy.rs").nondet);
         assert!(!classify("crates/analysis/src/sweep.rs").nondet);
         assert!(classify("crates/analysis/src/sweep.rs").stream);
         assert!(classify("crates/core/tests/engine_stress.rs").skip);

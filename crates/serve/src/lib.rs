@@ -1,0 +1,517 @@
+//! In-process service harness: the paper's protocols run as a load
+//! balancer instead of a round loop.
+//!
+//! [`run`] drives one policy over one scenario: a synthetic job stream
+//! (open-loop Poisson arrivals, closed-loop users, or both — see
+//! [`slb_workloads::traffic`]) lands on a backend array whose speeds and
+//! peer topology come from the same model layer as the simulators. Each
+//! backend is a FIFO queue; a job of weight `w` on backend `b` takes
+//! `w / s_b` units of service, so service times are driven by backend
+//! speeds exactly like task processing in the paper's model.
+//!
+//! # Determinism
+//!
+//! Time is a **virtual clock**: integer ticks ([`TICKS_PER_UNIT`] per
+//! unit of load), advanced only by a binary event heap ordered by
+//! `(tick, sequence number)`. No wall clock exists anywhere (`slb-lint`
+//! bans `std::time` in engine code, and `crates/serve` is in its scan
+//! scope), so a run is a pure function of its seeds:
+//!
+//! * the **scenario seed** drives traffic: open-loop slot `t` draws from
+//!   `rng_for(scenario_seed, t, streams::serve::ARRIVAL)`, closed-loop
+//!   user `u` from `rng_for(scenario_seed, u, streams::serve::CLOSED)`.
+//!   Every policy of a `slb serve` invocation shares the scenario seed,
+//!   so all policies face the *identical* open-loop job stream.
+//! * the **policy seed** drives routing: job `k` flips its coins from
+//!   `rng_for(policy_seed, k, streams::serve::POLICY)` — one private
+//!   stream per job, so decisions depend only on the job index and the
+//!   observed state, never on how runs are scheduled onto threads.
+//!
+//! The harness runs each policy sequentially; `slb serve --threads T`
+//! fans *policies* across workers, which cannot change any per-policy
+//! trajectory. Artifacts are therefore byte-identical at any `--threads`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod policy;
+
+pub use policy::{NodeView, PolicyKind, RoutePolicy};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use slb_core::engine::sampling::sample_poisson;
+use slb_core::equilibrium::nash_gap_loads;
+use slb_core::model::SpeedVector;
+use slb_core::rng::{rng_for, streams};
+use slb_graphs::Graph;
+use slb_workloads::weights::WeightDistribution;
+use slb_workloads::TrafficSpec;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual-clock resolution: ticks per unit of load/time. A power of two
+/// keeps unit↔tick conversions exact for the usual rates.
+pub const TICKS_PER_UNIT: u64 = 1 << 20;
+
+/// One serve scenario: everything but the routing policy.
+///
+/// `scenario_seed` is shared across the policies of an invocation (same
+/// traffic for everyone), `policy_seed` is unique per policy run.
+pub struct ServeConfig<'a> {
+    /// Peer topology (selfish policies migrate along its edges).
+    pub graph: &'a Graph,
+    /// Backend speeds.
+    pub speeds: &'a SpeedVector,
+    /// The synthetic traffic to offer.
+    pub traffic: TrafficSpec,
+    /// Job-weight distribution (service time = weight / speed).
+    pub weights: WeightDistribution,
+    /// Units of virtual time during which traffic is generated. The run
+    /// then drains: every admitted job completes.
+    pub horizon: u64,
+    /// Master seed of the traffic streams (shared across policies).
+    pub scenario_seed: u64,
+    /// Master seed of the per-job routing coins (unique per policy).
+    pub policy_seed: u64,
+}
+
+/// Arrival/completion times of one completed job, in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Submission tick.
+    pub arrival: u64,
+    /// Completion tick (`finish − arrival` is the job's latency).
+    pub finish: u64,
+}
+
+/// Everything a serve run measures. The analysis layer turns this into
+/// artifact rows; keeping raw per-job records here lets it apply
+/// measurement windows and quantiles without re-running.
+pub struct ServeOutcome {
+    /// Jobs submitted (open- plus closed-loop) within the horizon.
+    pub jobs_offered: u64,
+    /// Per-job arrival/finish ticks, in completion order. Every offered
+    /// job completes (the run drains after the horizon), so this has
+    /// exactly `jobs_offered` entries.
+    pub jobs: Vec<JobRecord>,
+    /// Per-backend busy ticks within `[0, horizon)`.
+    pub busy_ticks: Vec<u64>,
+    /// Per-backend jobs in flight at the horizon boundary.
+    pub in_flight_at_horizon: Vec<u64>,
+    /// Per-backend outstanding weight at the horizon boundary.
+    pub outstanding_at_horizon: Vec<f64>,
+    /// Nash gap of the backlog state at the horizon: loads `W_b/s_b`
+    /// over the serve topology, unit threshold weights, backends with
+    /// jobs in flight marked occupied.
+    pub nash_gap_at_horizon: f64,
+}
+
+/// Where a job came from (closed-loop jobs respawn their user).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    Open,
+    Closed(usize),
+}
+
+enum EventKind {
+    Arrival {
+        entry: usize,
+        weight: f64,
+        source: Source,
+    },
+    Completion {
+        backend: usize,
+        arrival: u64,
+        weight: f64,
+        source: Source,
+    },
+}
+
+/// Heap entry: ordered by `(time, seq)` so simultaneous events fire in
+/// insertion order — a total, deterministic order.
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Converts a duration in units to ticks, rounding to nearest.
+fn to_ticks(units: f64) -> u64 {
+    (units * TICKS_PER_UNIT as f64).round() as u64
+}
+
+/// Service duration of a job of weight `w` on a backend of speed `s`:
+/// `w/s` units, at least one tick so every job occupies its backend.
+fn service_ticks(weight: f64, speed: f64) -> u64 {
+    ((weight / speed) * TICKS_PER_UNIT as f64).ceil().max(1.0) as u64
+}
+
+struct Loop<'a> {
+    config: &'a ServeConfig<'a>,
+    policy: Box<dyn RoutePolicy + Send>,
+    heap: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    next_job: u64,
+    horizon_ticks: u64,
+    // Per-backend state.
+    free_at: Vec<u64>,
+    in_flight: Vec<u64>,
+    outstanding: Vec<f64>,
+    busy_ticks: Vec<u64>,
+    // Per-user closed-loop streams.
+    user_rngs: Vec<StdRng>,
+    // Measurements.
+    jobs_offered: u64,
+    jobs: Vec<JobRecord>,
+}
+
+impl Loop<'_> {
+    fn push(&mut self, time: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Draws one closed-loop submission for `user` from its private
+    /// stream and schedules it, unless it would start past the horizon.
+    fn submit_closed(&mut self, user: usize, time: u64) {
+        if time >= self.horizon_ticks {
+            return;
+        }
+        let n = self.config.graph.node_count();
+        let rng = &mut self.user_rngs[user];
+        let entry = rng.gen_range(0..n);
+        let weight = self.config.weights.sample(1, rng)[0];
+        self.push(
+            time,
+            EventKind::Arrival {
+                entry,
+                weight,
+                source: Source::Closed(user),
+            },
+        );
+    }
+
+    /// Generates slot `slot`'s open-loop arrivals from the slot's private
+    /// stream: a Poisson count, then per job an offset within the slot,
+    /// a weight, and an entry node.
+    fn push_open_arrivals(&mut self, slot: u64) {
+        let Some(open) = self.config.traffic.open else {
+            return;
+        };
+        let mut rng = rng_for(self.config.scenario_seed, slot, streams::serve::ARRIVAL);
+        let k = sample_poisson(open.rate, &mut rng);
+        if k == 0 {
+            return;
+        }
+        let base = slot * TICKS_PER_UNIT;
+        let mut offsets: Vec<u64> = (0..k).map(|_| rng.gen_range(0..TICKS_PER_UNIT)).collect();
+        offsets.sort_unstable();
+        let weights = self.config.weights.sample(k as usize, &mut rng);
+        let n = self.config.graph.node_count();
+        for (idx, off) in offsets.into_iter().enumerate() {
+            let entry = rng.gen_range(0..n);
+            self.push(
+                base + off,
+                EventKind::Arrival {
+                    entry,
+                    weight: weights[idx],
+                    source: Source::Open,
+                },
+            );
+        }
+    }
+
+    /// Routes and admits one job at `now`.
+    fn admit(&mut self, now: u64, entry: usize, weight: f64, source: Source) {
+        let job_id = self.next_job;
+        self.next_job += 1;
+        self.jobs_offered += 1;
+        let mut coin = rng_for(self.config.policy_seed, job_id, streams::serve::POLICY);
+        let view = NodeView {
+            graph: self.config.graph,
+            speeds: self.config.speeds,
+            free_at: &self.free_at,
+            in_flight: &self.in_flight,
+            outstanding: &self.outstanding,
+            now,
+            ticks_per_unit: TICKS_PER_UNIT,
+        };
+        let b = self.policy.route(entry, weight, &view, &mut coin);
+        let start = self.free_at[b].max(now);
+        let finish = start + service_ticks(weight, self.config.speeds.speed(b));
+        self.free_at[b] = finish;
+        self.in_flight[b] += 1;
+        self.outstanding[b] += weight;
+        // Busy time credited within [0, horizon) only.
+        self.busy_ticks[b] += finish.min(self.horizon_ticks) - start.min(self.horizon_ticks);
+        self.push(
+            finish,
+            EventKind::Completion {
+                backend: b,
+                arrival: now,
+                weight,
+                source,
+            },
+        );
+    }
+
+    /// Pops and handles every event strictly before `boundary`.
+    fn process_until(&mut self, boundary: u64) {
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.time >= boundary {
+                return;
+            }
+            let Some(Reverse(event)) = self.heap.pop() else {
+                return;
+            };
+            match event.kind {
+                EventKind::Arrival {
+                    entry,
+                    weight,
+                    source,
+                } => self.admit(event.time, entry, weight, source),
+                EventKind::Completion {
+                    backend,
+                    arrival,
+                    weight,
+                    source,
+                } => {
+                    self.in_flight[backend] -= 1;
+                    // Clamp float cancellation so an emptied backend
+                    // reads exactly zero outstanding work.
+                    self.outstanding[backend] = if self.in_flight[backend] == 0 {
+                        0.0
+                    } else {
+                        self.outstanding[backend] - weight
+                    };
+                    self.jobs.push(JobRecord {
+                        arrival,
+                        finish: event.time,
+                    });
+                    if let Source::Closed(user) = source {
+                        let think = self
+                            .config
+                            .traffic
+                            .closed
+                            .expect("a closed-loop job implies a closed-loop spec");
+                        self.submit_closed(user, event.time + to_ticks(think.think));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs one policy over one scenario to completion (horizon plus drain).
+///
+/// # Panics
+///
+/// Panics if the config has no backends, no traffic, or a zero horizon.
+pub fn run(config: &ServeConfig<'_>, kind: PolicyKind) -> ServeOutcome {
+    let n = config.graph.node_count();
+    assert!(n > 0, "serve needs at least one backend");
+    assert!(!config.traffic.is_empty(), "serve needs a traffic source");
+    assert!(config.horizon > 0, "serve needs a positive horizon");
+
+    let users = config.traffic.closed.map_or(0, |c| c.users);
+    let mut state = Loop {
+        config,
+        policy: kind.instantiate(config.speeds),
+        heap: BinaryHeap::new(),
+        next_seq: 0,
+        next_job: 0,
+        horizon_ticks: config.horizon * TICKS_PER_UNIT,
+        free_at: vec![0; n],
+        in_flight: vec![0; n],
+        outstanding: vec![0.0; n],
+        busy_ticks: vec![0; n],
+        user_rngs: (0..users)
+            .map(|u| rng_for(config.scenario_seed, u as u64, streams::serve::CLOSED))
+            .collect(),
+        jobs_offered: 0,
+        jobs: Vec::new(),
+    };
+
+    // Closed-loop users phase in uniformly over their first think window.
+    if let Some(closed) = config.traffic.closed {
+        for user in 0..closed.users {
+            let phase: f64 = state.user_rngs[user].gen_range(0.0..closed.think);
+            state.submit_closed(user, to_ticks(phase));
+        }
+    }
+
+    // Generate each slot's arrivals lazily, then drain past the horizon.
+    for slot in 0..config.horizon {
+        state.push_open_arrivals(slot);
+        state.process_until((slot + 1) * TICKS_PER_UNIT);
+    }
+    let in_flight_at_horizon = state.in_flight.clone();
+    let outstanding_at_horizon = state.outstanding.clone();
+    state.process_until(u64::MAX);
+    debug_assert_eq!(state.jobs.len() as u64, state.jobs_offered);
+
+    let loads: Vec<f64> = outstanding_at_horizon
+        .iter()
+        .enumerate()
+        .map(|(b, &w)| w / config.speeds.speed(b))
+        .collect();
+    let occupied: Vec<bool> = in_flight_at_horizon.iter().map(|&c| c > 0).collect();
+    let nash_gap_at_horizon = nash_gap_loads(
+        config.graph,
+        config.speeds,
+        &loads,
+        &vec![1.0; n],
+        &occupied,
+    );
+
+    ServeOutcome {
+        jobs_offered: state.jobs_offered,
+        jobs: state.jobs,
+        busy_ticks: state.busy_ticks,
+        in_flight_at_horizon,
+        outstanding_at_horizon,
+        nash_gap_at_horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slb_graphs::generators::Family;
+    use slb_workloads::traffic::{parse_closed, parse_traffic};
+
+    fn config<'a>(
+        graph: &'a Graph,
+        speeds: &'a SpeedVector,
+        traffic: TrafficSpec,
+        horizon: u64,
+    ) -> ServeConfig<'a> {
+        ServeConfig {
+            graph,
+            speeds,
+            traffic,
+            weights: WeightDistribution::Unit,
+            horizon,
+            scenario_seed: 7,
+            policy_seed: 11,
+        }
+    }
+
+    fn open_traffic(rate: &str) -> TrafficSpec {
+        TrafficSpec {
+            open: parse_traffic(rate).expect("valid traffic token"),
+            closed: None,
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible_and_complete_every_job() {
+        let graph = Family::Ring { n: 8 }.build();
+        let speeds = SpeedVector::uniform(8);
+        let cfg = config(&graph, &speeds, open_traffic("poisson:4"), 50);
+        for kind in PolicyKind::ALL {
+            let a = run(&cfg, kind);
+            let b = run(&cfg, kind);
+            assert_eq!(a.jobs_offered, b.jobs_offered);
+            assert_eq!(a.jobs, b.jobs);
+            assert_eq!(a.busy_ticks, b.busy_ticks);
+            assert_eq!(a.jobs.len() as u64, a.jobs_offered, "{}", kind.label());
+            assert!(a.jobs_offered > 0);
+            for job in &a.jobs {
+                assert!(job.finish > job.arrival);
+            }
+        }
+    }
+
+    #[test]
+    fn policies_share_the_open_loop_job_stream() {
+        let graph = Family::Ring { n: 8 }.build();
+        let speeds = SpeedVector::uniform(8);
+        let cfg = config(&graph, &speeds, open_traffic("poisson:3"), 40);
+        let offered: Vec<u64> = PolicyKind::ALL
+            .iter()
+            .map(|&kind| run(&cfg, kind).jobs_offered)
+            .collect();
+        assert!(
+            offered.windows(2).all(|w| w[0] == w[1]),
+            "open-loop offered load must not depend on the policy: {offered:?}"
+        );
+    }
+
+    #[test]
+    fn closed_loop_bounds_concurrency() {
+        let graph = Family::Complete { n: 4 }.build();
+        let speeds = SpeedVector::uniform(4);
+        let traffic = TrafficSpec {
+            open: None,
+            closed: parse_closed("3:0.5").expect("valid closed token"),
+        };
+        let cfg = config(&graph, &speeds, traffic, 30);
+        let outcome = run(&cfg, PolicyKind::GreedyLeastLoaded);
+        assert!(outcome.jobs_offered > 3, "users resubmit after thinking");
+        // At most `users` closed-loop jobs can ever overlap; verify via
+        // a sweep over the completion records.
+        let mut events: Vec<(u64, i64)> = Vec::new();
+        for job in &outcome.jobs {
+            events.push((job.arrival, 1));
+            events.push((job.finish, -1));
+        }
+        events.sort_unstable();
+        let mut live = 0i64;
+        let mut peak = 0i64;
+        for (_, delta) in events {
+            live += delta;
+            peak = peak.max(live);
+        }
+        assert!(peak <= 3, "closed loop exceeded its population: {peak}");
+    }
+
+    #[test]
+    fn greedy_on_uniform_speeds_balances_utilization() {
+        let graph = Family::Ring { n: 4 }.build();
+        let speeds = SpeedVector::uniform(4);
+        let cfg = config(&graph, &speeds, open_traffic("poisson:3"), 80);
+        let outcome = run(&cfg, PolicyKind::GreedyLeastLoaded);
+        let min = outcome.busy_ticks.iter().min().copied().unwrap_or(0);
+        let max = outcome.busy_ticks.iter().max().copied().unwrap_or(0);
+        assert!(min > 0, "every backend should see work");
+        assert!(
+            (max - min) as f64 / max as f64 <= 0.5,
+            "greedy spread too uneven: {:?}",
+            outcome.busy_ticks
+        );
+    }
+
+    #[test]
+    fn overload_shows_up_in_the_nash_gap_and_backlog() {
+        // A ring of slow backends at 4× their capacity: round-robin ends
+        // the horizon with work outstanding everywhere.
+        let graph = Family::Ring { n: 4 }.build();
+        let speeds = SpeedVector::uniform(4);
+        let cfg = config(&graph, &speeds, open_traffic("poisson:16"), 20);
+        let outcome = run(&cfg, PolicyKind::RoundRobin);
+        let backlog: f64 = outcome.outstanding_at_horizon.iter().sum();
+        assert!(backlog > 0.0, "4× overload must leave a backlog");
+        assert!(outcome.nash_gap_at_horizon >= 0.0);
+        assert!(outcome.in_flight_at_horizon.iter().any(|&c| c > 0));
+    }
+}

@@ -1,0 +1,409 @@
+//! Pluggable routing policies for the service harness.
+//!
+//! A [`RoutePolicy`] decides, per job, which backend executes it. The
+//! paper's protocols ([`PolicyKind::Alg1`], [`PolicyKind::Alg2`],
+//! [`PolicyKind::Bhs`]) are *selfish*: the job lands on a uniformly
+//! random entry node and performs one migration step of the count
+//! kernel's rule — sample a neighbor, check the threshold condition
+//! `ℓ_i − ℓ_j > θ/s_j` ([`ThresholdRule`]), and move with the damped
+//! probability `p_ij` ([`migration_probability`]). The practical
+//! baselines (round-robin, greedy least-loaded, bandwidth softmax) see
+//! the whole backend array, the way a fronting load balancer would.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use slb_core::engine::kernel::{OwnWeightThreshold, RelaxedThreshold, ThresholdRule};
+use slb_core::model::SpeedVector;
+use slb_core::protocol::{migration_probability, Alpha};
+use slb_graphs::Graph;
+use slb_workloads::sweep::SweepParseError;
+
+/// Read-only view of the backend state a policy may consult.
+///
+/// Loads come in two currencies: `outstanding` work (admitted weight not
+/// yet completed — the serve analogue of the kernel's count state, with
+/// `in_flight` the literal job counts) and `backlog_units` (time until
+/// the backend drains, i.e. outstanding work over speed).
+pub struct NodeView<'a> {
+    /// The peer topology the selfish policies walk.
+    pub graph: &'a Graph,
+    /// Backend speeds.
+    pub speeds: &'a SpeedVector,
+    /// Tick at which each backend's FIFO drains.
+    pub free_at: &'a [u64],
+    /// Jobs admitted and not yet completed, per backend.
+    pub in_flight: &'a [u64],
+    /// Weight admitted and not yet completed, per backend.
+    pub outstanding: &'a [f64],
+    /// The current virtual time in ticks.
+    pub now: u64,
+    /// Ticks per unit of virtual time.
+    pub ticks_per_unit: u64,
+}
+
+impl NodeView<'_> {
+    /// Number of backends.
+    pub fn len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Whether the system has no backends (never true in a run).
+    pub fn is_empty(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// Time (in units) until backend `b`'s FIFO drains.
+    pub fn backlog_units(&self, b: usize) -> f64 {
+        self.free_at[b].saturating_sub(self.now) as f64 / self.ticks_per_unit as f64
+    }
+}
+
+/// A routing decision procedure. `entry` is the uniformly random node the
+/// job arrived on (drawn from the job's coin by the harness), `weight`
+/// the job's weight, and `coin` the job's private policy stream.
+pub trait RoutePolicy {
+    /// Chooses the backend that executes the job.
+    fn route(&mut self, entry: usize, weight: f64, view: &NodeView<'_>, coin: &mut StdRng)
+        -> usize;
+}
+
+/// The six built-in policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Algorithm 1: selfish one-step migration, speed-blind (loads are
+    /// raw outstanding weights, `θ = 1`).
+    Alg1,
+    /// Algorithm 2: selfish one-step migration, speed-aware (loads are
+    /// `W/s`, `θ = 1`).
+    Alg2,
+    /// The \[6\] (BHS) baseline rule: speed-aware with the job's own
+    /// weight as threshold (`θ = w`).
+    Bhs,
+    /// Cycles through backends regardless of state.
+    RoundRobin,
+    /// Sends every job to the backend with the smallest time-to-drain.
+    GreedyLeastLoaded,
+    /// Samples a backend from a softmax over speed-proportional headroom
+    /// (autodist-style entropy policy).
+    BandwidthSoftmax,
+}
+
+impl PolicyKind {
+    /// Every policy, in artifact row order.
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::Alg1,
+        PolicyKind::Alg2,
+        PolicyKind::Bhs,
+        PolicyKind::RoundRobin,
+        PolicyKind::GreedyLeastLoaded,
+        PolicyKind::BandwidthSoftmax,
+    ];
+
+    /// The artifact/CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Alg1 => "alg1",
+            PolicyKind::Alg2 => "alg2",
+            PolicyKind::Bhs => "bhs",
+            PolicyKind::RoundRobin => "round-robin",
+            PolicyKind::GreedyLeastLoaded => "greedy-least-loaded",
+            PolicyKind::BandwidthSoftmax => "bandwidth-softmax",
+        }
+    }
+
+    /// Parses a CLI token.
+    pub fn parse(token: &str) -> Result<Self, SweepParseError> {
+        Self::ALL
+            .into_iter()
+            .find(|p| p.label() == token)
+            .ok_or_else(|| SweepParseError::new(format!("unknown policy `{token}`")))
+    }
+
+    /// Builds the policy's decision procedure for a run over `speeds`.
+    pub fn instantiate(self, speeds: &SpeedVector) -> Box<dyn RoutePolicy + Send> {
+        match self {
+            // Algorithm 1 sees a speed-blind world, so its damping uses
+            // the unit-speed `α = 4·s_max = 4` of that view.
+            PolicyKind::Alg1 => Box::new(Selfish {
+                variant: SelfishVariant::Alg1,
+                alpha: 4.0,
+            }),
+            PolicyKind::Alg2 => Box::new(Selfish {
+                variant: SelfishVariant::Alg2,
+                alpha: Alpha::Approximate.resolve(speeds),
+            }),
+            PolicyKind::Bhs => Box::new(Selfish {
+                variant: SelfishVariant::Bhs,
+                alpha: Alpha::Approximate.resolve(speeds),
+            }),
+            PolicyKind::RoundRobin => Box::new(RoundRobin { next: 0 }),
+            PolicyKind::GreedyLeastLoaded => Box::new(GreedyLeastLoaded),
+            PolicyKind::BandwidthSoftmax => Box::new(BandwidthSoftmax),
+        }
+    }
+}
+
+/// Which selfish rule a [`Selfish`] policy applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SelfishVariant {
+    Alg1,
+    Alg2,
+    Bhs,
+}
+
+/// One migration step of the count kernel's rule, applied at admission:
+/// the job stands on its entry node `i` (its weight counted into `W_i`,
+/// exactly like a task deciding in the round kernel), samples a uniform
+/// neighbor `j`, and moves iff the threshold condition holds and the
+/// `p_ij` coin comes up.
+struct Selfish {
+    variant: SelfishVariant,
+    alpha: f64,
+}
+
+impl RoutePolicy for Selfish {
+    fn route(
+        &mut self,
+        entry: usize,
+        weight: f64,
+        view: &NodeView<'_>,
+        coin: &mut StdRng,
+    ) -> usize {
+        let i = entry;
+        let deg_i = view.graph.degree(i.into());
+        if deg_i == 0 {
+            return i;
+        }
+        let j: usize = view.graph.neighbors(i.into())[coin.gen_range(0..deg_i)].index();
+        let deg_j = view.graph.degree(j.into());
+        let d_ij = deg_i.max(deg_j);
+        // The deciding job counts into its own node's state.
+        let w_i = view.outstanding[i] + weight;
+        let (s_i, s_j) = match self.variant {
+            SelfishVariant::Alg1 => (1.0, 1.0),
+            _ => (view.speeds.speed(i), view.speeds.speed(j)),
+        };
+        let (load_i, load_j) = (w_i / s_i, view.outstanding[j] / s_j);
+        let theta = match self.variant {
+            SelfishVariant::Alg1 | SelfishVariant::Alg2 => RelaxedThreshold.threshold(weight),
+            SelfishVariant::Bhs => OwnWeightThreshold.threshold(weight),
+        };
+        if load_i - load_j <= theta / s_j {
+            return i;
+        }
+        let p = migration_probability(deg_i, d_ij, load_i, load_j, s_i, s_j, w_i, self.alpha);
+        if coin.gen_range(0.0..1.0) < p {
+            j
+        } else {
+            i
+        }
+    }
+}
+
+/// State-blind cycling dispatcher.
+struct RoundRobin {
+    next: usize,
+}
+
+impl RoutePolicy for RoundRobin {
+    fn route(
+        &mut self,
+        _entry: usize,
+        _weight: f64,
+        view: &NodeView<'_>,
+        _coin: &mut StdRng,
+    ) -> usize {
+        let b = self.next % view.len();
+        self.next = (self.next + 1) % view.len();
+        b
+    }
+}
+
+/// Global argmin over time-to-drain (ties break to the lowest index).
+struct GreedyLeastLoaded;
+
+impl RoutePolicy for GreedyLeastLoaded {
+    fn route(
+        &mut self,
+        _entry: usize,
+        _weight: f64,
+        view: &NodeView<'_>,
+        _coin: &mut StdRng,
+    ) -> usize {
+        let mut best = 0usize;
+        let mut best_backlog = view.free_at[0].saturating_sub(view.now);
+        for b in 1..view.len() {
+            let backlog = view.free_at[b].saturating_sub(view.now);
+            if backlog < best_backlog {
+                best = b;
+                best_backlog = backlog;
+            }
+        }
+        best
+    }
+}
+
+/// Softmax over per-backend headroom: the speed-proportional share of the
+/// total outstanding work minus what the backend already holds. An empty
+/// system degenerates to a uniform draw.
+struct BandwidthSoftmax;
+
+impl RoutePolicy for BandwidthSoftmax {
+    fn route(
+        &mut self,
+        _entry: usize,
+        _weight: f64,
+        view: &NodeView<'_>,
+        coin: &mut StdRng,
+    ) -> usize {
+        let n = view.len();
+        let total_work: f64 = view.outstanding.iter().sum();
+        let total_speed = view.speeds.total();
+        let headroom =
+            |b: usize| total_work * view.speeds.speed(b) / total_speed - view.outstanding[b];
+        let max_h = (0..n).map(headroom).fold(f64::NEG_INFINITY, f64::max);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for b in 0..n {
+            total += (headroom(b) - max_h).exp();
+            cumulative.push(total);
+        }
+        let r = coin.gen_range(0.0..1.0) * total;
+        cumulative.iter().position(|&c| r < c).unwrap_or(n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use slb_graphs::generators::Family;
+
+    fn view_over<'a>(
+        graph: &'a Graph,
+        speeds: &'a SpeedVector,
+        free_at: &'a [u64],
+        in_flight: &'a [u64],
+        outstanding: &'a [f64],
+    ) -> NodeView<'a> {
+        NodeView {
+            graph,
+            speeds,
+            free_at,
+            in_flight,
+            outstanding,
+            now: 0,
+            ticks_per_unit: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn policy_labels_roundtrip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.label()).expect("roundtrip"), kind);
+        }
+        assert!(PolicyKind::parse("random").is_err());
+    }
+
+    #[test]
+    fn round_robin_cycles_and_greedy_picks_the_emptiest() {
+        let graph = Family::Ring { n: 4 }.build();
+        let speeds = SpeedVector::uniform(4);
+        let free_at = [5, 0, 9, 2];
+        let in_flight = [1, 0, 3, 1];
+        let outstanding = [1.0, 0.0, 3.0, 1.0];
+        let view = view_over(&graph, &speeds, &free_at, &in_flight, &outstanding);
+        let mut coin = StdRng::seed_from_u64(1);
+
+        let mut rr = PolicyKind::RoundRobin.instantiate(&speeds);
+        let picks: Vec<usize> = (0..6).map(|_| rr.route(0, 1.0, &view, &mut coin)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1]);
+
+        let mut greedy = PolicyKind::GreedyLeastLoaded.instantiate(&speeds);
+        assert_eq!(greedy.route(3, 1.0, &view, &mut coin), 1);
+    }
+
+    #[test]
+    fn selfish_stays_on_balanced_nodes_and_only_walks_edges() {
+        let graph = Family::Ring { n: 8 }.build();
+        let speeds = SpeedVector::uniform(8);
+        let free_at = [0u64; 8];
+        let in_flight = [2u64; 8];
+        let outstanding = [2.0f64; 8];
+        let view = view_over(&graph, &speeds, &free_at, &in_flight, &outstanding);
+        for kind in [PolicyKind::Alg1, PolicyKind::Alg2, PolicyKind::Bhs] {
+            let mut policy = kind.instantiate(&speeds);
+            let mut coin = StdRng::seed_from_u64(9);
+            // Balanced loads never satisfy ℓ_i − ℓ_j > θ/s_j: the job stays.
+            for entry in 0..8 {
+                assert_eq!(policy.route(entry, 1.0, &view, &mut coin), entry);
+            }
+        }
+
+        // A hot entry node may shed to a neighbor, never further.
+        let hot_outstanding = [40.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let hot = view_over(&graph, &speeds, &free_at, &in_flight, &hot_outstanding);
+        let mut policy = PolicyKind::Alg2.instantiate(&speeds);
+        let mut coin = StdRng::seed_from_u64(3);
+        let mut moved = 0;
+        for _ in 0..200 {
+            let b = policy.route(0, 1.0, &hot, &mut coin);
+            assert!([0usize, 1, 7].contains(&b), "left the neighborhood: {b}");
+            if b != 0 {
+                moved += 1;
+            }
+        }
+        // p_ij ≤ 1/4, but a 40-vs-0 gap keeps it well above 0.
+        assert!(moved > 0, "a hot node never shed load");
+    }
+
+    #[test]
+    fn bhs_threshold_is_tighter_for_light_jobs() {
+        // Gap of 0.8 with unit speeds: alg2 (θ = 1) never moves; bhs with
+        // a light job (θ = w = 0.1) may.
+        let graph = Family::Complete { n: 2 }.build();
+        let speeds = SpeedVector::uniform(2);
+        let free_at = [0u64; 2];
+        let in_flight = [1, 0];
+        let outstanding = [0.7, 0.0];
+        let view = view_over(&graph, &speeds, &free_at, &in_flight, &outstanding);
+
+        let mut alg2 = PolicyKind::Alg2.instantiate(&speeds);
+        let mut bhs = PolicyKind::Bhs.instantiate(&speeds);
+        let mut coin = StdRng::seed_from_u64(5);
+        let mut bhs_moved = 0;
+        for _ in 0..400 {
+            assert_eq!(
+                alg2.route(0, 0.1, &view, &mut coin),
+                0,
+                "θ = 1 blocks this gap"
+            );
+            if bhs.route(0, 0.1, &view, &mut coin) == 1 {
+                bhs_moved += 1;
+            }
+        }
+        assert!(
+            bhs_moved > 0,
+            "own-weight threshold should admit light jobs"
+        );
+    }
+
+    #[test]
+    fn softmax_prefers_fast_idle_backends() {
+        let graph = Family::Complete { n: 3 }.build();
+        let speeds = SpeedVector::new(vec![4.0, 1.0, 1.0]).expect("valid speed vector");
+        let free_at = [0u64; 3];
+        let in_flight = [0, 5, 0];
+        let outstanding = [0.0, 5.0, 0.0];
+        let view = view_over(&graph, &speeds, &free_at, &in_flight, &outstanding);
+        let mut policy = PolicyKind::BandwidthSoftmax.instantiate(&speeds);
+        let mut coin = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..600 {
+            counts[policy.route(0, 1.0, &view, &mut coin)] += 1;
+        }
+        // Backend 0 has the largest headroom (fast and idle), backend 1
+        // holds all the work and should be avoided.
+        assert!(counts[0] > counts[1] && counts[2] > counts[1], "{counts:?}");
+    }
+}

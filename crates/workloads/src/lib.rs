@@ -19,6 +19,8 @@
 //! * [`sweep`] — declarative experiment grids ([`SweepSpec`]) with the
 //!   `key=a,b,c` grid syntax consumed by `slb sweep` and the analysis
 //!   layer's sweep runner,
+//! * [`traffic`] — synthetic open/closed-loop traffic specifications
+//!   ([`TrafficSpec`]) for the `slb serve` harness,
 //! * [`validate`] — declarative theorem-validation ladders
 //!   ([`ValidateSpec`]): sizeless graph families × geometric `n` and
 //!   `m/n` ladders, consumed by `slb validate` and the analysis layer's
@@ -44,11 +46,13 @@ pub mod placement;
 pub mod scenario;
 pub mod speeds;
 pub mod sweep;
+pub mod traffic;
 pub mod validate;
 pub mod weight_classes;
 pub mod weights;
 
 pub use scenario::{BuiltScenario, ScenarioError};
 pub use sweep::{CellSpec, ProtocolKind, StopRule, SweepParseError, SweepSpec};
+pub use traffic::{ClosedLoop, OpenLoop, TrafficSpec};
 pub use validate::{FamilyShape, LoadRule, Regime, RowSpec, ValidateSpec};
 pub use weight_classes::WeightClasses;

@@ -170,7 +170,10 @@ pub struct SweepParseError {
 }
 
 impl SweepParseError {
-    pub(crate) fn new(message: String) -> Self {
+    /// Wraps a message in the grid-syntax error type. Public so sibling
+    /// crates extending the grammar (e.g. `slb_serve`'s policy tokens)
+    /// report errors uniformly.
+    pub fn new(message: String) -> Self {
         SweepParseError { message }
     }
 }

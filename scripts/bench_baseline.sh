@@ -3,8 +3,11 @@
 # micro-benchmarks and records per-engine round throughput as a BENCH
 # snapshot JSON — both the m/n ∈ {10, 100, 1000} engine-comparison ids
 # and the sharded-round scaling ladder at n ∈ {2¹⁰, 2¹⁶, 2²⁰}
-# (`*-scale` groups, `-n<size>` ids). Committed snapshots (BENCH_*.json)
-# form the perf trajectory future PRs diff against.
+# (`*-scale` groups, `-n<size>` ids). The `serve/route` group rides
+# along: one entry per routing policy, where a measured iteration is a
+# complete fixed-traffic serve run (generate + route + drain).
+# Committed snapshots (BENCH_*.json) form the perf trajectory future
+# PRs diff against.
 #
 # Gates (both fail the script loudly):
 #   1. speed-fast acceptance floor — the count-based speed-aware engine
@@ -33,6 +36,9 @@ trap 'rm -f "$raw"' EXIT
 
 echo "running cargo bench --bench protocol_rounds ..." >&2
 cargo bench --bench protocol_rounds 2>/dev/null | tee "$raw" >&2
+
+echo "running cargo bench --bench serve ..." >&2
+cargo bench --bench serve 2>/dev/null | tee -a "$raw" >&2
 
 rustc_version="$(rustc --version)"
 generated_at="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -83,17 +89,32 @@ $1 ~ /^round\// {
     }
     ns[engine "/" id] = median
 }
+$1 ~ /^serve\// {
+    # One full serve run per iteration: `serve/route/<policy>-ring64`.
+    median = -1
+    for (i = 1; i <= NF; i++) {
+        if ($i == "median") median = to_ns($(i + 1), $(i + 2))
+    }
+    if (median <= 0) next
+    n_parts = split($1, parts, "/")
+    id = parts[n_parts]
+    entries[++count] = sprintf(\
+        "    {\"engine\": \"serve\", \"id\": \"%s\", " \
+        "\"median_ns_per_run\": %.1f, \"runs_per_sec\": %.1f}",
+        id, median, 1e9 / median)
+    ns["serve/" id] = median
+}
 END {
     if (count == 0) {
         print "error: no round/* benchmark lines parsed" > "/dev/stderr"
         exit 1
     }
     printf "{\n" > out
-    printf "  \"schema\": \"slb-bench-baseline/v2\",\n" >> out
+    printf "  \"schema\": \"slb-bench-baseline/v3\",\n" >> out
     printf "  \"generated_by\": \"scripts/bench_baseline.sh\",\n" >> out
     printf "  \"generated_at\": \"%s\",\n", generated_at >> out
     printf "  \"toolchain\": \"%s\",\n", rustc_version >> out
-    printf "  \"scenario\": \"2-class ring:64, alternating speeds 1/2 (uniform-fast: unit tasks); scale ladder: alternating hot/cold counts, ~95 tasks/node mean\",\n" >> out
+    printf "  \"scenario\": \"2-class ring:64, alternating speeds 1/2 (uniform-fast: unit tasks); scale ladder: alternating hot/cold counts, ~95 tasks/node mean; serve: one full open-loop poisson:256 x 25-unit run per policy on the two-speed ring:64\",\n" >> out
     printf "  \"entries\": [\n" >> out
     for (i = 1; i <= count; i++)
         printf "%s%s\n", entries[i], (i < count ? "," : "") >> out
@@ -147,9 +168,11 @@ else
         gsub(/"/, "", s)
         return s
     }
-    /"median_ns_per_round"/ {
+    /"median_ns_per_r(ound|un)"/ {
         key = field($0, "engine") "/" field($0, "id")
-        med = field($0, "median_ns_per_round") + 0
+        med = field($0, "median_ns_per_round")
+        if (med == "") med = field($0, "median_ns_per_run")
+        med += 0
         if (FILENAME == ARGV[1]) old[key] = med
         else                     new[key] = med
     }
@@ -161,11 +184,11 @@ else
             compared++
             pct = (new[key] / old[key] - 1) * 100
             if (pct > max_pct) {
-                printf "REGRESSION %-45s %.1f -> %.1f ns/round (%+.0f%%)\n", \
+                printf "REGRESSION %-45s %.1f -> %.1f ns/iter (%+.0f%%)\n", \
                     key, old[key], new[key], pct > "/dev/stderr"
                 status = 1
             } else if (pct < -max_pct) {
-                printf "improved   %-45s %.1f -> %.1f ns/round (%+.0f%%)\n", \
+                printf "improved   %-45s %.1f -> %.1f ns/iter (%+.0f%%)\n", \
                     key, old[key], new[key], pct > "/dev/stderr"
             }
         }
@@ -176,7 +199,7 @@ were the benchmarks renamed wholesale?\n", prev_name > "/dev/stderr"
         }
         printf "compared %d shared benchmark ids against %s\n", compared, prev_name > "/dev/stderr"
         if (status != 0) {
-            printf "error: round throughput regressed more than %s%% vs %s\n", \
+            printf "error: throughput regressed more than %s%% vs %s\n", \
                 max_pct, prev_name > "/dev/stderr"
             exit 1
         }

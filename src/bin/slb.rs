@@ -26,6 +26,8 @@ USAGE:
   slb bounds   [OPTIONS]   print the paper's convergence bounds for an instance
   slb sweep [GRID] [OPTIONS]   run an experiment grid, emit CSV/JSON
   slb validate [LADDER] [OPTIONS]   run scaling ladders, check Table 1 conformance
+  slb serve [SPEC] [OPTIONS]   route a synthetic job stream through the
+                               protocols and baselines, emit CSV/JSON
 
 TOPOLOGY OPTIONS (simulate/spectral/bounds):
   --family <complete|ring|path|mesh|torus|hypercube|star>   (default ring)
@@ -90,33 +92,69 @@ VALIDATE OPTIONS:
   --trials/--max-rounds/--seed/--threads   as in sweep
   --report <md|csv|json>   report format                    (default md)
   --out <PATH>       write the report to a file instead of stdout
+
+SERVE SPEC (positional key=value tokens; omitted keys use the default):
+  graph=ring:64                 topology, sweep syntax      (default ring:8)
+  policy=alg1,alg2,bhs,round-robin,greedy-least-loaded,bandwidth-softmax
+                                comma list                  (default all six)
+  speeds=uniform,…              sweep syntax, sampled once  (default uniform)
+  weights=unit,uniform:LO..HI,… job weights, sweep syntax   (default unit)
+  traffic=poisson:RATE|none     open-loop jobs per unit     (default poisson:4)
+  closed=USERS:THINK|none       closed-loop population      (default none)
+  horizon=N                     units of traffic, then the
+                                run drains                  (default 100)
+
+SERVE OPTIONS:
+  --seed <N>         base seed; all policies share the scenario
+                     (speeds + open-loop traffic) derived from it
+                                                            (default 42)
+  --threads <N>      policies fan across workers; artifacts are
+                     byte-identical for every thread count  (default: cores)
+  --shift <S>        measurement window: [S, horizon) if S ≥ 0,
+                     the last |S| units if S < 0            (default 0)
+  --format <csv|json>                                       (default csv)
+  --out <PATH>       write the artifact to a file instead of stdout
 ";
 
 /// Splits raw arguments into `--flag [value]` pairs and positional
-/// tokens. A flag followed by another flag (or by nothing) is boolean and
-/// gets the value `"true"`; duplicated flags are rejected.
+/// tokens. A value binds either inline (`--flag=value`) or as the next
+/// token (`--flag value`); a flag followed by another flag (or by
+/// nothing) is boolean and gets the value `"true"`; duplicated flags are
+/// rejected whichever spelling each use chose.
+///
+/// Signed numeric values work in both spellings: the lookahead treats
+/// only `--`-prefixed tokens as flags, so `--shift -1` binds `-1`, and
+/// `--shift=-1` binds inline (the spelling that used to be swallowed
+/// whole as an unknown flag named `shift=-1`).
 fn parse_args(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
     let mut flags = HashMap::new();
     let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        let Some(key) = args[i].strip_prefix("--") else {
+        let Some(token) = args[i].strip_prefix("--") else {
             positional.push(args[i].clone());
             i += 1;
             continue;
         };
-        if key.is_empty() {
+        if token.is_empty() {
             return Err("empty flag `--`".into());
         }
-        let value = match args.get(i + 1) {
-            Some(next) if !next.starts_with("--") => {
-                i += 2;
-                next.clone()
-            }
-            _ => {
+        let (key, value) = match token.split_once('=') {
+            Some(("", _)) => return Err(format!("empty flag name in `--{token}`")),
+            Some((key, value)) => {
                 i += 1;
-                "true".to_string()
+                (key, value.to_string())
             }
+            None => match args.get(i + 1) {
+                Some(next) if !next.starts_with("--") => {
+                    i += 2;
+                    (token, next.clone())
+                }
+                _ => {
+                    i += 1;
+                    (token, "true".to_string())
+                }
+            },
         };
         if flags.insert(key.to_string(), value).is_some() {
             return Err(format!("flag --{key} given twice"));
@@ -445,6 +483,112 @@ fn cmd_validate(flags: HashMap<String, String>, ladder: &[String]) -> Result<(),
     Ok(())
 }
 
+/// Parses the positional `key=value` tokens of `slb serve` into a spec.
+/// `shift` arrives separately (it is a flag, since grids don't take
+/// signed values).
+fn serve_spec_of(
+    tokens: &[String],
+    shift: f64,
+) -> Result<selfish_load_balancing::analysis::serve::ServeSpec, String> {
+    use selfish_load_balancing::analysis::serve::ServeSpec;
+    use selfish_load_balancing::workloads::sweep as grid;
+    use selfish_load_balancing::workloads::traffic;
+
+    let mut spec = ServeSpec {
+        family: generators::Family::Ring { n: 8 },
+        policies: selfish_load_balancing::serve::PolicyKind::ALL.to_vec(),
+        speeds: selfish_load_balancing::workloads::speeds::SpeedDistribution::Uniform,
+        weights: selfish_load_balancing::workloads::weights::WeightDistribution::Unit,
+        traffic: selfish_load_balancing::workloads::TrafficSpec {
+            open: traffic::parse_traffic("poisson:4").map_err(|e| e.to_string())?,
+            closed: None,
+        },
+        horizon: 100,
+        shift,
+    };
+    let mut seen: Vec<&str> = Vec::new();
+    for token in tokens {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got `{token}`"))?;
+        if seen.contains(&key) {
+            return Err(format!("serve key `{key}` given twice"));
+        }
+        seen.push(key);
+        match key {
+            "graph" => spec.family = grid::parse_family(value).map_err(|e| e.to_string())?,
+            "policy" => {
+                spec.policies = value
+                    .split(',')
+                    .map(PolicyKind::parse)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| e.to_string())?;
+                if spec.policies.is_empty() {
+                    return Err("policy list is empty".into());
+                }
+            }
+            "speeds" => spec.speeds = grid::parse_speeds(value).map_err(|e| e.to_string())?,
+            "weights" => spec.weights = grid::parse_weights(value).map_err(|e| e.to_string())?,
+            "traffic" => {
+                spec.traffic.open = traffic::parse_traffic(value).map_err(|e| e.to_string())?
+            }
+            "closed" => {
+                spec.traffic.closed = traffic::parse_closed(value).map_err(|e| e.to_string())?
+            }
+            "horizon" => {
+                spec.horizon = value
+                    .parse()
+                    .map_err(|_| format!("invalid horizon `{value}`"))?;
+                if spec.horizon == 0 {
+                    return Err("horizon must be positive".into());
+                }
+            }
+            other => return Err(format!("unknown serve key `{other}`")),
+        }
+    }
+    if spec.traffic.is_empty() {
+        return Err("serve needs a traffic source: set traffic= and/or closed=".into());
+    }
+    if !shift.is_finite() || shift.abs() >= spec.horizon as f64 {
+        return Err(format!(
+            "--shift {shift} leaves an empty measurement window over horizon {}",
+            spec.horizon
+        ));
+    }
+    Ok(spec)
+}
+
+fn cmd_serve(flags: HashMap<String, String>, tokens: &[String]) -> Result<(), String> {
+    use selfish_load_balancing::analysis::serve::run_serve;
+
+    let shift: f64 = get(&flags, "shift", 0.0)?;
+    let spec = serve_spec_of(tokens, shift)?;
+    let base_seed: u64 = get(&flags, "seed", 42)?;
+    let default_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let threads: usize = get(&flags, "threads", default_threads)?;
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    // Check the output format before running, so a typo'd --format does
+    // not discard a long run.
+    let format = flags.get("format").map(String::as_str).unwrap_or("csv");
+    if !["csv", "json"].contains(&format) {
+        return Err(format!("unknown format `{format}` (use csv|json)"));
+    }
+    let report = run_serve(&spec, base_seed, threads);
+    let rendered = match format {
+        "csv" => report.to_csv(),
+        _ => report.to_json(),
+    };
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("cannot write `{path}`: {e}"))?
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
 /// The one-line stderr warning for sweep grids with skipped cells: their
 /// rows are zeroed, and must never be mistaken for measurements. `None`
 /// (no warning) when every cell executed — the only outcome today, since
@@ -499,6 +643,7 @@ const VALIDATE_FLAGS: &[&str] = &[
     "report",
     "out",
 ];
+const SERVE_FLAGS: &[&str] = &["help", "seed", "threads", "shift", "format", "out"];
 
 /// Rejects misspelled flags instead of silently ignoring them (a dropped
 /// `--seed` would otherwise produce a wrong-but-plausible artifact).
@@ -552,6 +697,14 @@ fn main() -> ExitCode {
             }
             reject_unknown(&flags, VALIDATE_FLAGS)?;
             cmd_validate(flags, &ladder)
+        }),
+        "serve" => parse_args(rest).and_then(|(flags, tokens)| {
+            if wants_help(&flags) {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            reject_unknown(&flags, SERVE_FLAGS)?;
+            cmd_serve(flags, &tokens)
         }),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
@@ -611,6 +764,47 @@ mod tests {
     }
 
     #[test]
+    fn parse_flags_binds_signed_values_in_both_spellings() {
+        // Regression: the serve grammar takes signed offsets, and the
+        // inline spelling `--shift=-1` used to be swallowed whole as an
+        // unknown flag named `shift=-1`. Both spellings must bind `-1`.
+        let parsed = parse_flags(&["--shift".into(), "-1".into()]).unwrap();
+        assert_eq!(parsed.get("shift").unwrap(), "-1");
+        let parsed = parse_flags(&["--shift=-1".into()]).unwrap();
+        assert_eq!(parsed.get("shift").unwrap(), "-1");
+        // Signed values parse through `get` like any other numeric flag.
+        let shift: f64 = get(&parsed, "shift", 0.0).unwrap();
+        assert_eq!(shift, -1.0);
+        // Inline values may themselves contain `=` (split once only) and
+        // may be empty (`--out=` is an explicit empty value, not a
+        // boolean).
+        let parsed = parse_flags(&["--filter=key=value".into()]).unwrap();
+        assert_eq!(parsed.get("filter").unwrap(), "key=value");
+        let parsed = parse_flags(&["--out=".into()]).unwrap();
+        assert_eq!(parsed.get("out").unwrap(), "");
+        // The two spellings name the same flag: mixing them duplicates.
+        let err = parse_flags(&["--seed=1".into(), "--seed".into(), "2".into()]).unwrap_err();
+        assert!(err.contains("given twice"), "{err}");
+        // `--=x` has no flag name.
+        assert!(parse_flags(&["--=5".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_args_inline_values_leave_grid_tokens_positional() {
+        // Grid tokens contain `=` but no `--` prefix: they must stay
+        // positional while inline flag values bind.
+        let (flags, positional) = parse_args(&[
+            "graph=ring:8".into(),
+            "--seed=7".into(),
+            "--shift=-2.5".into(),
+        ])
+        .unwrap();
+        assert_eq!(positional, vec!["graph=ring:8"]);
+        assert_eq!(flags.get("seed").unwrap(), "7");
+        assert_eq!(flags.get("shift").unwrap(), "-2.5");
+    }
+
+    #[test]
     fn parse_args_separates_grid_tokens_from_flags() {
         let (flags, positional) = parse_args(&[
             "graph=ring:8".into(),
@@ -656,6 +850,62 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a.to_csv(), b.to_csv());
+    }
+
+    #[test]
+    fn serve_spec_parsing_defaults_and_errors() {
+        let spec = serve_spec_of(&[], 0.0).unwrap();
+        assert_eq!(spec.family.node_count(), 8);
+        assert_eq!(spec.policies.len(), 6);
+        assert_eq!(spec.horizon, 100);
+        assert!(spec.traffic.open.is_some() && spec.traffic.closed.is_none());
+
+        let spec = serve_spec_of(
+            &[
+                "graph=torus:3x3".into(),
+                "policy=alg2,greedy-least-loaded".into(),
+                "traffic=poisson:2.5".into(),
+                "closed=4:1.5".into(),
+                "horizon=50".into(),
+            ],
+            -10.0,
+        )
+        .unwrap();
+        assert_eq!(spec.family.node_count(), 9);
+        assert_eq!(spec.policies.len(), 2);
+        assert_eq!(spec.horizon, 50);
+        assert!(spec.traffic.closed.is_some());
+
+        // Degenerate specs are rejected with a pointed message.
+        assert!(serve_spec_of(&["policy=warp-speed".into()], 0.0).is_err());
+        assert!(serve_spec_of(&["horizon=0".into()], 0.0).is_err());
+        assert!(serve_spec_of(&["oops".into()], 0.0).is_err());
+        assert!(serve_spec_of(&["speed=uniform".into()], 0.0).is_err());
+        let err = serve_spec_of(&["traffic=none".into()], 0.0).unwrap_err();
+        assert!(err.contains("traffic source"), "{err}");
+        let err = serve_spec_of(&["horizon=5".into()], -5.0).unwrap_err();
+        assert!(err.contains("empty measurement window"), "{err}");
+        let err = serve_spec_of(&["horizon=5".into(), "horizon=6".into()], 0.0).unwrap_err();
+        assert!(err.contains("given twice"), "{err}");
+    }
+
+    #[test]
+    fn serve_runs_end_to_end_and_is_thread_invariant() {
+        use selfish_load_balancing::analysis::serve::run_serve;
+        let spec = serve_spec_of(
+            &[
+                "graph=ring:8".into(),
+                "speeds=alternating:2".into(),
+                "traffic=poisson:3".into(),
+                "horizon=20".into(),
+            ],
+            -10.0,
+        )
+        .unwrap();
+        let a = run_serve(&spec, 11, 1);
+        let b = run_serve(&spec, 11, 6);
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.rows.len(), 6);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //!   diffusion, potentials, equilibria, and the simulation engines
 //!   ([`slb_core`]),
 //! * [`workloads`] — placements, weight/speed distributions, scenario
-//!   presets ([`slb_workloads`]),
+//!   presets, traffic specs ([`slb_workloads`]),
+//! * [`serve`] — the in-process service harness behind `slb serve`:
+//!   virtual-clock event loop, routing policies ([`slb_serve`]),
 //! * [`analysis`] — statistics, the paper's bounds as code, experiment
 //!   runners and table rendering ([`slb_analysis`]).
 //!
@@ -49,6 +51,7 @@
 pub use slb_analysis as analysis;
 pub use slb_core as core;
 pub use slb_graphs as graphs;
+pub use slb_serve as serve;
 pub use slb_spectral as spectral;
 pub use slb_workloads as workloads;
 
@@ -72,6 +75,7 @@ pub mod prelude {
         SelfishUniform, SelfishWeighted, WeightedRule,
     };
     pub use slb_graphs::{generators, Graph, NodeId};
+    pub use slb_serve::{PolicyKind, RoutePolicy, ServeConfig, ServeOutcome};
     pub use slb_spectral::{closed_form, laplacian};
     pub use slb_workloads::placement::Placement;
     pub use slb_workloads::scenario;

@@ -37,7 +37,7 @@ fn help_succeeds_and_prints_usage() {
 
 #[test]
 fn per_subcommand_help_is_boolean_and_succeeds() {
-    for cmd in ["simulate", "spectral", "bounds", "sweep"] {
+    for cmd in ["simulate", "spectral", "bounds", "sweep", "serve"] {
         let out = slb(&[cmd, "--help"]);
         assert!(out.status.success(), "`slb {cmd} --help` must exit zero");
         assert!(stdout(&out).contains("USAGE:"), "stdout: {}", stdout(&out));
@@ -183,7 +183,7 @@ const SWEEP_CSV_HEADER: &str = "cell,graph,n,m,protocol,engine,speeds,weights,pl
                                 arrivals,completions,churn,speed-dyn,trials,base_seed,max_rounds,\
                                 reached_fraction,rounds_mean,rounds_std,rounds_min,rounds_median,\
                                 rounds_max,migrations_mean,psi0_final_mean,nash_gap_tavg_mean,\
-                                recovery_rounds_mean";
+                                recovery_rounds_mean,unrecovered_trials";
 
 #[test]
 fn sweep_emits_exact_csv_schema() {
@@ -259,6 +259,10 @@ fn golden_sweep_covers_all_protocols_and_task_modes() {
     assert_eq!(&fields[10..14], &["none", "none", "none", "none"]);
     assert_eq!(fields[25], "0", "nash_gap_tavg column: {alg1_weighted}");
     assert_eq!(fields[26], "0", "recovery_rounds column: {alg1_weighted}");
+    assert_eq!(
+        fields[27], "0",
+        "unrecovered_trials column: {alg1_weighted}"
+    );
 }
 
 /// The pinned dynamic-sweep invocation behind
@@ -322,10 +326,124 @@ fn golden_dynamic_sweep_carries_steady_state_metrics() {
         // The steady-state gap is open under sustained arrivals.
         assert_ne!(fields[25], "0", "nash_gap_tavg_mean: {line}");
         if fields[13].starts_with("shock:") {
-            assert_ne!(fields[26], "0", "recovery_rounds_mean: {line}");
+            // The mean averages recovered trials only; trials that never
+            // re-close the gap are counted, not folded into the mean.
+            assert!(
+                fields[26] != "0" || fields[27] == "2",
+                "shock row must either recover or censor: {line}"
+            );
         } else {
             assert_eq!(fields[26], "0", "recovery_rounds_mean: {line}");
+            assert_eq!(fields[27], "0", "unrecovered_trials: {line}");
         }
+    }
+}
+
+/// The pinned serve invocation behind `tests/golden/serve_small.csv`
+/// (also run by CI's smoke-serve step): all six routing policies over a
+/// small two-speed ring under mixed open- and closed-loop traffic, with
+/// a warm-up excluded from the measurement window.
+const GOLDEN_SERVE_ARGS: &[&str] = &[
+    "serve",
+    "graph=ring:8",
+    "speeds=alternating:2",
+    "weights=uniform:0.5..1",
+    "traffic=poisson:4",
+    "closed=2:1.0",
+    "horizon=30",
+    "--shift",
+    "-20",
+    "--seed",
+    "42",
+];
+
+const SERVE_CSV_HEADER: &str = "policy,graph,n,speeds,weights,traffic,closed,horizon,shift,\
+                                base_seed,jobs_offered,jobs_completed,throughput,latency_mean,\
+                                latency_p50,latency_p95,latency_p99,util_mean,util_min,util_max,\
+                                nash_gap";
+
+#[test]
+fn serve_matches_golden_file_at_any_thread_count() {
+    let golden = include_str!("golden/serve_small.csv");
+    for threads in ["1", "8", "64"] {
+        let mut args = GOLDEN_SERVE_ARGS.to_vec();
+        args.extend(["--threads", threads]);
+        let out = slb(&args);
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        assert_eq!(
+            stdout(&out),
+            golden,
+            "serve CSV at --threads {threads} diverges from tests/golden/serve_small.csv \
+             (same spec + seed must be byte-identical)"
+        );
+        assert!(
+            stderr(&out).is_empty(),
+            "unexpected stderr: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn golden_serve_covers_every_policy_with_live_metrics() {
+    let golden = include_str!("golden/serve_small.csv");
+    assert_eq!(golden.lines().next().unwrap(), SERVE_CSV_HEADER);
+    // Header + one row per policy, in the canonical order.
+    assert_eq!(golden.lines().count(), 7);
+    let policies = [
+        "alg1",
+        "alg2",
+        "bhs",
+        "round-robin",
+        "greedy-least-loaded",
+        "bandwidth-softmax",
+    ];
+    for (line, policy) in golden.lines().skip(1).zip(policies) {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields[0], policy, "row: {line}");
+        // Every policy routed real work: completions, throughput, and a
+        // latency sample are all live, and utilization stays a fraction.
+        assert_ne!(fields[11], "0", "jobs_completed: {line}");
+        assert_ne!(fields[12], "0", "throughput: {line}");
+        assert_ne!(fields[13], "0", "latency_mean: {line}");
+        let util_max: f64 = fields[19].parse().unwrap();
+        assert!(
+            util_max > 0.0 && util_max <= 1.0,
+            "util_max out of range: {line}"
+        );
+    }
+}
+
+#[test]
+fn serve_rejects_malformed_specs_with_exit_one() {
+    for (args, needle) in [
+        (&["serve", "graph=blob:4"][..], "unknown graph family"),
+        (&["serve", "policy=teleport"], "unknown policy"),
+        (&["serve", "horizon=0"], "must be positive"),
+        (&["serve", "traffic=poisson:-1"], "rate"),
+        (&["serve", "traffic=none"], "traffic source"),
+        (&["serve", "closed=0:1"], "at least one user"),
+        (&["serve", "bogus=1"], "unknown serve key"),
+        (&["serve", "horizon=5", "horizon=6"], "given twice"),
+        (
+            &["serve", "horizon=5", "--shift", "-9"],
+            "measurement window",
+        ),
+        (&["serve", "--format", "xml"], "unknown format"),
+        (&["serve", "--threads", "0"], "must be positive"),
+        (&["serve", "--seeed", "7"], "unknown flag --seeed"),
+    ] {
+        let out = slb(args);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "`slb {args:?}` must exit 1, not panic"
+        );
+        assert!(
+            stderr(&out).contains(needle),
+            "`slb {args:?}` stderr misses `{needle}`: {}",
+            stderr(&out)
+        );
     }
 }
 
