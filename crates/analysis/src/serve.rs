@@ -3,9 +3,11 @@
 //! [`run_serve`] fans the requested policies across worker threads (one
 //! sequential event-loop run per policy — see [`slb_serve`] for the
 //! determinism argument), applies the measurement window, and renders a
-//! sweep-style CSV/JSON artifact: offered/completed jobs, throughput,
-//! latency mean and nearest-rank p50/p95/p99, per-backend utilization,
-//! and the Nash gap of the backlog state at the horizon.
+//! sweep-style CSV/JSON artifact: offered/completed/failed jobs, retry
+//! and availability figures, throughput, latency sample size, latency
+//! mean and nearest-rank p50/p95/p99, per-backend utilization, and the
+//! Nash gaps (all backends and live-only) of the backlog state at the
+//! horizon.
 //!
 //! # Seeds
 //!
@@ -20,11 +22,12 @@ use crate::stats::Summary;
 use slb_core::rng::{derive_seed, rng_for, streams};
 use slb_graphs::generators::Family;
 use slb_serve::{PolicyKind, ServeConfig, ServeOutcome, TICKS_PER_UNIT};
+use slb_workloads::faults::{faults_label, retry_label, signal_label};
 use slb_workloads::speeds::SpeedDistribution;
 use slb_workloads::sweep::{family_grid_label, speeds_grid_label, weights_grid_label};
 use slb_workloads::traffic::{closed_label, traffic_label};
 use slb_workloads::weights::WeightDistribution;
-use slb_workloads::TrafficSpec;
+use slb_workloads::{FaultSpec, RetrySpec, SignalSpec, TrafficSpec};
 use std::fmt::Write as _;
 
 /// A complete `slb serve` request: scenario plus the policy roster.
@@ -40,6 +43,12 @@ pub struct ServeSpec {
     pub weights: WeightDistribution,
     /// Traffic sources.
     pub traffic: TrafficSpec,
+    /// Crash/recover schedule (`None` disables faults).
+    pub faults: Option<FaultSpec>,
+    /// Signal-degradation model (default: fresh view).
+    pub signal: SignalSpec,
+    /// Retry budget for fault-hit jobs (`None` fails them immediately).
+    pub retry: Option<RetrySpec>,
     /// Units of virtual time during which traffic is generated.
     pub horizon: u64,
     /// Measurement-window offset in units: `s ≥ 0` measures `[s, H)`
@@ -56,11 +65,23 @@ pub struct PolicyRow {
     pub jobs_offered: u64,
     /// Jobs completed inside the measurement window.
     pub jobs_completed: u64,
+    /// Jobs that exhausted their retry budget (whole run, like
+    /// `jobs_offered`). These are *failed*, not censored: they are
+    /// counted here and excluded from the latency sample.
+    pub failed_jobs: u64,
+    /// Mean retry resubmissions per offered job (whole run).
+    pub retries_mean: f64,
+    /// Fraction of backend-time within `[0, H)` spent up (1 with faults
+    /// disabled).
+    pub availability: f64,
     /// Completions per unit of virtual time inside the window — the
     /// observable throughput ceiling under overload.
     pub throughput: f64,
-    /// Latency (units) of jobs *arriving* in the window; every offered
-    /// job completes (the run drains), so nothing is censored.
+    /// Latency (units) of completed jobs *arriving* in the window;
+    /// failed jobs never enter this sample (they appear in
+    /// `failed_jobs` instead, so nothing is silently censored). Its
+    /// `count` renders as the `latency_count` column: a genuine
+    /// zero-latency window and an empty window are distinguishable.
     pub latency: Summary,
     /// Mean per-backend utilization over `[0, H)`.
     pub util_mean: f64,
@@ -70,6 +91,9 @@ pub struct PolicyRow {
     pub util_max: f64,
     /// Nash gap of the backlog state at the horizon.
     pub nash_gap: f64,
+    /// Nash gap restricted to backends alive at the horizon (equals
+    /// `nash_gap` with faults disabled).
+    pub nash_gap_live: f64,
 }
 
 /// The full artifact.
@@ -86,9 +110,15 @@ pub struct ServeReport {
 }
 
 /// Columns of [`ServeReport::to_csv`].
-pub const SERVE_CSV_HEADER: &str = "policy,graph,n,speeds,weights,traffic,closed,horizon,\
-     shift,base_seed,jobs_offered,jobs_completed,throughput,latency_mean,latency_p50,\
-     latency_p95,latency_p99,util_mean,util_min,util_max,nash_gap";
+///
+/// `latency_count` is the size of the window's latency sample (arrivals
+/// in the window that completed): the explicit completed-jobs count that
+/// makes a [`Summary::empty`] row self-describing — `latency_count = 0`
+/// means "no observations", not "all latencies were zero".
+pub const SERVE_CSV_HEADER: &str = "policy,graph,n,speeds,weights,traffic,closed,faults,\
+     signal,retry,horizon,shift,base_seed,jobs_offered,jobs_completed,failed_jobs,\
+     retries_mean,availability,throughput,latency_count,latency_mean,latency_p50,\
+     latency_p95,latency_p99,util_mean,util_min,util_max,nash_gap,nash_gap_live";
 
 /// Resolves the measurement window `[start, horizon)` in ticks.
 ///
@@ -141,16 +171,26 @@ fn measure(policy: PolicyKind, outcome: &ServeOutcome, horizon: u64, shift: f64)
     let util_min = utils.iter().copied().fold(f64::INFINITY, f64::min);
     let util_max = utils.iter().copied().fold(f64::NEG_INFINITY, f64::max);
 
+    let retries_mean = if outcome.jobs_offered == 0 {
+        0.0
+    } else {
+        outcome.retries_total as f64 / outcome.jobs_offered as f64
+    };
+
     PolicyRow {
         policy,
         jobs_offered: outcome.jobs_offered,
         jobs_completed,
+        failed_jobs: outcome.failed_jobs,
+        retries_mean,
+        availability: outcome.availability,
         throughput: jobs_completed as f64 / window_units,
         latency,
         util_mean,
         util_min,
         util_max,
         nash_gap: outcome.nash_gap_at_horizon,
+        nash_gap_live: outcome.nash_gap_live_at_horizon,
     }
 }
 
@@ -182,6 +222,9 @@ pub fn run_serve(spec: &ServeSpec, base_seed: u64, threads: usize) -> ServeRepor
             speeds: &speeds,
             traffic: spec.traffic,
             weights: spec.weights,
+            faults: spec.faults,
+            signal: spec.signal,
+            retry: spec.retry,
             horizon: spec.horizon,
             scenario_seed,
             policy_seed: derive_seed(base_seed, pos as u64, streams::trial::SIM),
@@ -213,7 +256,7 @@ impl ServeReport {
         for row in &self.rows {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 row.policy.label(),
                 family_grid_label(self.spec.family),
                 self.n,
@@ -221,12 +264,19 @@ impl ServeReport {
                 weights_grid_label(self.spec.weights),
                 traffic_label(self.spec.traffic.open),
                 closed_label(self.spec.traffic.closed),
+                faults_label(self.spec.faults),
+                signal_label(self.spec.signal),
+                retry_label(self.spec.retry),
                 self.spec.horizon,
                 self.spec.shift,
                 self.base_seed,
                 row.jobs_offered,
                 row.jobs_completed,
+                row.failed_jobs,
+                row.retries_mean,
+                row.availability,
                 row.throughput,
+                row.latency.count,
                 row.latency.mean,
                 row.latency.p50,
                 row.latency.p95,
@@ -235,6 +285,7 @@ impl ServeReport {
                 row.util_min,
                 row.util_max,
                 row.nash_gap,
+                row.nash_gap_live,
             );
         }
         out
@@ -247,11 +298,14 @@ impl ServeReport {
             let _ = write!(
                 out,
                 "  {{\"policy\":\"{}\",\"graph\":\"{}\",\"n\":{},\"speeds\":\"{}\",\
-                 \"weights\":\"{}\",\"traffic\":\"{}\",\"closed\":\"{}\",\"horizon\":{},\
+                 \"weights\":\"{}\",\"traffic\":\"{}\",\"closed\":\"{}\",\"faults\":\"{}\",\
+                 \"signal\":\"{}\",\"retry\":\"{}\",\"horizon\":{},\
                  \"shift\":{},\"base_seed\":{},\"jobs_offered\":{},\"jobs_completed\":{},\
-                 \"throughput\":{},\"latency_mean\":{},\"latency_p50\":{},\"latency_p95\":{},\
+                 \"failed_jobs\":{},\"retries_mean\":{},\"availability\":{},\
+                 \"throughput\":{},\"latency_count\":{},\"latency_mean\":{},\
+                 \"latency_p50\":{},\"latency_p95\":{},\
                  \"latency_p99\":{},\"util_mean\":{},\"util_min\":{},\"util_max\":{},\
-                 \"nash_gap\":{}}}",
+                 \"nash_gap\":{},\"nash_gap_live\":{}}}",
                 row.policy.label(),
                 family_grid_label(self.spec.family),
                 self.n,
@@ -259,12 +313,19 @@ impl ServeReport {
                 weights_grid_label(self.spec.weights),
                 traffic_label(self.spec.traffic.open),
                 closed_label(self.spec.traffic.closed),
+                faults_label(self.spec.faults),
+                signal_label(self.spec.signal),
+                retry_label(self.spec.retry),
                 self.spec.horizon,
                 self.spec.shift,
                 self.base_seed,
                 row.jobs_offered,
                 row.jobs_completed,
+                row.failed_jobs,
+                row.retries_mean,
+                row.availability,
                 row.throughput,
+                row.latency.count,
                 row.latency.mean,
                 row.latency.p50,
                 row.latency.p95,
@@ -273,6 +334,7 @@ impl ServeReport {
                 row.util_min,
                 row.util_max,
                 row.nash_gap,
+                row.nash_gap_live,
             );
             out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
         }
@@ -284,6 +346,7 @@ impl ServeReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slb_workloads::faults::{parse_faults, parse_retry, parse_signal};
     use slb_workloads::traffic::{parse_closed, parse_traffic};
 
     fn small_spec() -> ServeSpec {
@@ -296,18 +359,74 @@ mod tests {
                 open: parse_traffic("poisson:4").expect("valid traffic"),
                 closed: parse_closed("2:1.0").expect("valid closed loop"),
             },
+            faults: None,
+            signal: SignalSpec::default(),
+            retry: None,
             horizon: 30,
             shift: -20.0,
         }
     }
 
+    fn faulty_spec() -> ServeSpec {
+        ServeSpec {
+            faults: parse_faults("crash:6:2").expect("valid faults"),
+            signal: parse_signal("stale:0.5+loss:0.1").expect("valid signal"),
+            retry: parse_retry("max:3:base:0.25").expect("valid retry"),
+            ..small_spec()
+        }
+    }
+
     #[test]
     fn serve_artifact_is_thread_count_invariant() {
-        let spec = small_spec();
-        let one = run_serve(&spec, 42, 1);
-        let eight = run_serve(&spec, 42, 8);
-        assert_eq!(one.to_csv(), eight.to_csv());
-        assert_eq!(one.to_json(), eight.to_json());
+        for spec in [small_spec(), faulty_spec()] {
+            let one = run_serve(&spec, 42, 1);
+            let eight = run_serve(&spec, 42, 8);
+            assert_eq!(one.to_csv(), eight.to_csv());
+            assert_eq!(one.to_json(), eight.to_json());
+        }
+    }
+
+    #[test]
+    fn faulty_rows_expose_the_degradation_columns() {
+        let report = run_serve(&faulty_spec(), 42, 4);
+        assert_eq!(report.rows.len(), 6);
+        for row in &report.rows {
+            assert!(
+                (0.0..1.0).contains(&row.availability),
+                "mttf 6 over horizon 30 must crash"
+            );
+            assert!(row.retries_mean >= 0.0);
+            assert!(row.nash_gap_live >= 0.0);
+            // Whole-run conservation surfaces in the artifact: failures
+            // are counted, not censored.
+            assert!(row.failed_jobs <= row.jobs_offered);
+        }
+        // Availability is scenario state: identical on every row.
+        let avail: Vec<f64> = report.rows.iter().map(|r| r.availability).collect();
+        assert!(avail.windows(2).all(|w| w[0] == w[1]), "{avail:?}");
+        let csv = report.to_csv();
+        assert!(csv.contains("crash:6:2"));
+        assert!(csv.contains("stale:0.5+loss:0.1"));
+        assert!(csv.contains("max:3:base:0.25"));
+    }
+
+    #[test]
+    fn fault_free_rows_have_trivial_degradation_columns() {
+        let report = run_serve(&small_spec(), 42, 2);
+        for row in &report.rows {
+            assert_eq!(row.failed_jobs, 0);
+            assert_eq!(row.retries_mean, 0.0);
+            assert_eq!(row.availability, 1.0);
+            assert_eq!(row.nash_gap, row.nash_gap_live);
+            assert_eq!(row.latency.count, row.latency.count as u64 as usize);
+        }
+        let csv = report.to_csv();
+        for line in csv.lines().skip(1) {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields[7], "none", "faults column");
+            assert_eq!(fields[8], "none", "signal column");
+            assert_eq!(fields[9], "none", "retry column");
+        }
     }
 
     #[test]

@@ -45,12 +45,22 @@ pub struct Summary {
 ///
 /// # Panics
 ///
-/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`. Debug builds
+/// additionally assert the sorted-input contract (ascending, NaN-free) —
+/// a silently unsorted sample would misreport every quantile.
 pub fn quantile_nearest_rank(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of empty sample");
     assert!(
         (0.0..=1.0).contains(&q),
         "quantile level {q} outside [0, 1]"
+    );
+    debug_assert!(
+        sorted.iter().all(|v| !v.is_nan()),
+        "quantile of sample containing NaN"
+    );
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "quantile of unsorted sample"
     );
     let rank = (q * sorted.len() as f64).ceil() as usize;
     sorted[rank.max(1) - 1]
@@ -439,6 +449,53 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn quantile_rejects_out_of_range_level() {
         let _ = quantile_nearest_rank(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn quantile_single_sample_is_that_sample_at_every_level() {
+        // ⌈q·1⌉ is 1 for every q > 0, and the q → 0 limit is the
+        // minimum: a singleton answers itself at every level.
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(quantile_nearest_rank(&[42.5], q), 42.5, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extreme_levels_are_min_and_max() {
+        // q = 0 is the minimum (rank clamps up to 1), q = 1 the maximum
+        // (⌈1·n⌉ = n) — on every sample size, including duplicates.
+        for sample in [
+            vec![3.0],
+            vec![1.0, 2.0],
+            vec![5.0, 5.0, 5.0],
+            (0..17).map(|i| i as f64 * 0.5).collect::<Vec<_>>(),
+        ] {
+            assert_eq!(quantile_nearest_rank(&sample, 0.0), sample[0]);
+            assert_eq!(
+                quantile_nearest_rank(&sample, 1.0),
+                sample[sample.len() - 1]
+            );
+        }
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "contract checked in debug builds only"
+    )]
+    #[should_panic(expected = "quantile of sample containing NaN")]
+    fn quantile_rejects_nan_in_debug_builds() {
+        let _ = quantile_nearest_rank(&[1.0, f64::NAN, 3.0], 0.5);
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "contract checked in debug builds only"
+    )]
+    #[should_panic(expected = "quantile of unsorted sample")]
+    fn quantile_rejects_unsorted_input_in_debug_builds() {
+        let _ = quantile_nearest_rank(&[3.0, 1.0, 2.0], 0.5);
     }
 
     #[test]

@@ -1,17 +1,22 @@
 //! Criterion micro-benchmarks of the serve event loop: one full
 //! fixed-traffic run (generate + route + drain) per routing policy on a
-//! two-speed ring:64.
+//! two-speed ring:64 — once with perfect information (`serve/route`) and
+//! once under the degraded-mode stack of crashing backends, a stale
+//! lossy load view, and retry/backoff routing (`serve/faults`).
 //!
-//! The `serve/route` group × id naming is load-bearing:
-//! `scripts/bench_baseline.sh` parses this harness's stdout into the
-//! committed BENCH snapshots alongside the `round/*` groups; each
-//! measured iteration is one complete run of ~`RATE × HORIZON` jobs.
+//! The group × id naming is load-bearing: `scripts/bench_baseline.sh`
+//! parses this harness's stdout into the committed BENCH snapshots
+//! alongside the `round/*` groups, keyed by the last path segment — so
+//! the degraded ids carry a `faults-` prefix to stay distinct from the
+//! route group's. Each measured iteration is one complete run of
+//! ~`RATE × HORIZON` jobs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slb_core::model::SpeedVector;
 use slb_core::rng::{derive_seed, streams};
 use slb_graphs::generators;
 use slb_serve::{run, PolicyKind, ServeConfig};
+use slb_workloads::faults::{FaultSpec, RetrySpec, SignalSpec};
 use slb_workloads::traffic::{OpenLoop, TrafficSpec};
 use slb_workloads::weights::WeightDistribution;
 
@@ -26,24 +31,52 @@ fn serve_benches(c: &mut Criterion) {
     let speeds =
         SpeedVector::integer((0..n as u64).map(|i| 1 + i % 2).collect()).expect("valid speeds");
     let scenario_seed = derive_seed(42, 0, streams::trial::SCENARIO);
+    let config_for = |pos: usize| ServeConfig {
+        graph: &graph,
+        speeds: &speeds,
+        traffic: TrafficSpec {
+            open: Some(OpenLoop { rate: RATE }),
+            closed: None,
+        },
+        weights: WeightDistribution::Unit,
+        faults: None,
+        signal: SignalSpec::default(),
+        retry: None,
+        horizon: HORIZON,
+        scenario_seed,
+        policy_seed: derive_seed(42, pos as u64, streams::trial::SIM),
+    };
 
     let mut group = c.benchmark_group("serve/route");
     group.sample_size(10);
     for (pos, kind) in PolicyKind::ALL.into_iter().enumerate() {
-        let config = ServeConfig {
-            graph: &graph,
-            speeds: &speeds,
-            traffic: TrafficSpec {
-                open: Some(OpenLoop { rate: RATE }),
-                closed: None,
-            },
-            weights: WeightDistribution::Unit,
-            horizon: HORIZON,
-            scenario_seed,
-            policy_seed: derive_seed(42, pos as u64, streams::trial::SIM),
-        };
+        let config = config_for(pos);
         group.bench_function(
             BenchmarkId::from_parameter(format!("{}-ring64", kind.label())),
+            |b| b.iter(|| run(&config, kind)),
+        );
+    }
+    group.finish();
+
+    // The same run with every degradation axis on: the price of the
+    // fault schedule, probe-refreshed signal board, and retry path.
+    let mut group = c.benchmark_group("serve/faults");
+    group.sample_size(10);
+    for (pos, kind) in PolicyKind::ALL.into_iter().enumerate() {
+        let config = ServeConfig {
+            faults: Some(FaultSpec {
+                mttf: 6.0,
+                mttr: 2.0,
+            }),
+            signal: SignalSpec {
+                stale: 0.5,
+                loss: 0.1,
+            },
+            retry: Some(RetrySpec { max: 3, base: 0.25 }),
+            ..config_for(pos)
+        };
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("faults-{}-ring64", kind.label())),
             |b| b.iter(|| run(&config, kind)),
         );
     }

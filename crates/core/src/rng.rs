@@ -136,9 +136,34 @@ pub mod streams {
         pub const CLOSED: u64 = 1;
         /// Route-policy coin flips, one stream per routed job.
         pub const POLICY: u64 = 2;
+        /// Fault injection: per-backend crash/recover renewal processes
+        /// (exponential MTTF/MTTR draws), one stream per backend.
+        /// Scenario-seeded, so every policy faces the identical fault
+        /// schedule.
+        pub const FAULT: u64 = 3;
+        /// Signal degradation: per-probe-epoch loss coins (one draw per
+        /// backend per refresh). Scenario-seeded, so every policy
+        /// observes through the identical probe-loss pattern.
+        pub const SIGNAL: u64 = 4;
+        /// Retry routing: backoff jitter plus re-route coins, one stream
+        /// per (job, attempt) pair (encoded as
+        /// `job · RETRY_ATTEMPT_STRIDE + attempt` on the derivation
+        /// axis). Policy-seeded like [`POLICY`].
+        pub const RETRY: u64 = 5;
+        /// Stride of the [`RETRY`] derivation axis: attempt `a` of job
+        /// `k` draws from axis `k · RETRY_ATTEMPT_STRIDE + a`. Retry
+        /// budgets must stay below this stride so (job, attempt) pairs
+        /// never collide on the axis.
+        pub const RETRY_ATTEMPT_STRIDE: u64 = 32;
         /// Every id in this namespace, for exhaustive collision tests.
-        pub const ALL: &[(&str, u64)] =
-            &[("ARRIVAL", ARRIVAL), ("CLOSED", CLOSED), ("POLICY", POLICY)];
+        pub const ALL: &[(&str, u64)] = &[
+            ("ARRIVAL", ARRIVAL),
+            ("CLOSED", CLOSED),
+            ("POLICY", POLICY),
+            ("FAULT", FAULT),
+            ("SIGNAL", SIGNAL),
+            ("RETRY", RETRY),
+        ];
     }
 }
 

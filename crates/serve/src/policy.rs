@@ -9,7 +9,20 @@
 //! probability `p_ij` ([`migration_probability`]). The practical
 //! baselines (round-robin, greedy least-loaded, bandwidth softmax) see
 //! the whole backend array, the way a fronting load balancer would.
+//!
+//! # Degraded signals
+//!
+//! Policies never touch live state: they read [`LoadSignal`] snapshots,
+//! which in fresh mode mirror the live state exactly and under
+//! `signal=stale:D+loss:P` are stale and partially missing (see
+//! [`crate::faults`]). Every policy follows the same degradation
+//! contract: backends whose signal is not `present` are skipped, and
+//! when *no* backend is present the policy falls back to a uniform draw
+//! ([`NodeView::uniform_known_live`]). The harness double-checks the
+//! ground truth — routing to a backend that is actually dead costs a
+//! retry, never a lost job.
 
+use crate::faults::{LoadSignal, Stored};
 use rand::rngs::StdRng;
 use rand::Rng;
 use slb_core::engine::kernel::{OwnWeightThreshold, RelaxedThreshold, ThresholdRule};
@@ -18,43 +31,179 @@ use slb_core::protocol::{migration_probability, Alpha};
 use slb_graphs::Graph;
 use slb_workloads::sweep::SweepParseError;
 
-/// Read-only view of the backend state a policy may consult.
+/// Read-only view of the backend state a policy may consult: one
+/// [`LoadSignal`] snapshot per backend, materialized lazily by
+/// [`signal`](NodeView::signal) (see the degradation contract in the
+/// module docs).
 ///
-/// Loads come in two currencies: `outstanding` work (admitted weight not
-/// yet completed — the serve analogue of the kernel's count state, with
-/// `in_flight` the literal job counts) and `backlog_units` (time until
-/// the backend drains, i.e. outstanding work over speed).
+/// In fresh mode ([`NodeView::live`]) each snapshot is read straight
+/// from the live arrays at the accessed index — a routing decision only
+/// pays for the backends it looks at, exactly like the
+/// perfect-information harness. In stale mode ([`NodeView::snapshots`])
+/// the view replays the signal board's stored probes, computing each
+/// signal's age at read time.
+///
+/// Loads come in two currencies: a signal's `value` (outstanding weight
+/// observed at the probe — the serve analogue of the kernel's count
+/// state) and [`backlog_units`](NodeView::backlog_units) (observed time
+/// until the backend drains).
 pub struct NodeView<'a> {
     /// The peer topology the selfish policies walk.
     pub graph: &'a Graph,
     /// Backend speeds.
     pub speeds: &'a SpeedVector,
-    /// Tick at which each backend's FIFO drains.
-    pub free_at: &'a [u64],
-    /// Jobs admitted and not yet completed, per backend.
-    pub in_flight: &'a [u64],
-    /// Weight admitted and not yet completed, per backend.
-    pub outstanding: &'a [f64],
     /// The current virtual time in ticks.
     pub now: u64,
     /// Ticks per unit of virtual time.
     pub ticks_per_unit: u64,
+    signals: SignalsRef<'a>,
 }
 
-impl NodeView<'_> {
+/// Where a view's snapshots come from.
+enum SignalsRef<'a> {
+    /// Fresh mode: the live state, read per accessed index.
+    Live {
+        outstanding: &'a [f64],
+        free_at: &'a [u64],
+        up: &'a [bool],
+        /// O(1) "no backend is down" flag maintained by the fault
+        /// schedule, so undegraded fast paths need not scan `up`.
+        all_up: bool,
+    },
+    /// Stale mode: the signal board's stored probes.
+    Stored(&'a [Stored]),
+}
+
+impl<'a> NodeView<'a> {
+    /// Fresh-mode view over the live state (ages are zero, presence
+    /// mirrors liveness).
+    pub(crate) fn live(
+        graph: &'a Graph,
+        speeds: &'a SpeedVector,
+        now: u64,
+        outstanding: &'a [f64],
+        free_at: &'a [u64],
+        up: &'a [bool],
+        all_up: bool,
+    ) -> Self {
+        debug_assert_eq!(all_up, up.iter().all(|&u| u));
+        NodeView {
+            graph,
+            speeds,
+            now,
+            ticks_per_unit: crate::TICKS_PER_UNIT,
+            signals: SignalsRef::Live {
+                outstanding,
+                free_at,
+                up,
+                all_up,
+            },
+        }
+    }
+
+    /// Stale-mode view replaying the signal board's stored probes.
+    pub(crate) fn snapshots(
+        graph: &'a Graph,
+        speeds: &'a SpeedVector,
+        now: u64,
+        stored: &'a [Stored],
+    ) -> Self {
+        NodeView {
+            graph,
+            speeds,
+            now,
+            ticks_per_unit: crate::TICKS_PER_UNIT,
+            signals: SignalsRef::Stored(stored),
+        }
+    }
+
     /// Number of backends.
     pub fn len(&self) -> usize {
-        self.in_flight.len()
+        match self.signals {
+            SignalsRef::Live { outstanding, .. } => outstanding.len(),
+            SignalsRef::Stored(stored) => stored.len(),
+        }
     }
 
     /// Whether the system has no backends (never true in a run).
     pub fn is_empty(&self) -> bool {
-        self.in_flight.is_empty()
+        self.len() == 0
     }
 
-    /// Time (in units) until backend `b`'s FIFO drains.
+    /// The [`LoadSignal`] snapshot for backend `b`, constructed on
+    /// demand from whichever source backs the view.
+    pub fn signal(&self, b: usize) -> LoadSignal {
+        match self.signals {
+            SignalsRef::Live {
+                outstanding,
+                free_at,
+                up,
+                ..
+            } => LoadSignal {
+                value: outstanding[b],
+                backlog_ticks: free_at[b].saturating_sub(self.now),
+                age_ticks: 0,
+                present: up[b],
+            },
+            SignalsRef::Stored(stored) => {
+                let s = stored[b];
+                LoadSignal {
+                    value: s.value,
+                    backlog_ticks: s.backlog_ticks,
+                    age_ticks: self.now - s.probe_tick,
+                    present: s.present,
+                }
+            }
+        }
+    }
+
+    /// Backend `b`'s observed outstanding weight (the hot-path subset of
+    /// [`signal`](NodeView::signal) — skips assembling the full snapshot).
+    pub fn value(&self, b: usize) -> f64 {
+        match self.signals {
+            SignalsRef::Live { outstanding, .. } => outstanding[b],
+            SignalsRef::Stored(stored) => stored[b].value,
+        }
+    }
+
+    /// Whether backend `b`'s snapshot reports it alive (the hot-path
+    /// subset of [`signal`](NodeView::signal)).
+    pub fn present(&self, b: usize) -> bool {
+        match self.signals {
+            SignalsRef::Live { up, .. } => up[b],
+            SignalsRef::Stored(stored) => stored[b].present,
+        }
+    }
+
+    /// Whether every backend's snapshot reports it alive. O(1) in fresh
+    /// mode (the fault schedule maintains the flag); O(n) in stale mode.
+    /// Policies use it to take undegraded fast paths.
+    pub fn all_present(&self) -> bool {
+        match self.signals {
+            SignalsRef::Live { all_up, .. } => all_up,
+            SignalsRef::Stored(stored) => stored.iter().all(|s| s.present),
+        }
+    }
+
+    /// Observed time (in units) until backend `b`'s FIFO drains.
     pub fn backlog_units(&self, b: usize) -> f64 {
-        self.free_at[b].saturating_sub(self.now) as f64 / self.ticks_per_unit as f64
+        self.signal(b).backlog_ticks as f64 / self.ticks_per_unit as f64
+    }
+
+    /// The graceful-degradation fallback: a uniform draw over the
+    /// known-live (present) backends, or over *all* backends when the
+    /// view is empty — a blind guess is still better than dropping the
+    /// job, and the harness retries if the guess lands on a dead node.
+    pub fn uniform_known_live(&self, coin: &mut StdRng) -> usize {
+        let live = (0..self.len()).filter(|&b| self.present(b)).count();
+        if live == 0 {
+            return coin.gen_range(0..self.len());
+        }
+        let pick = coin.gen_range(0..live);
+        (0..self.len())
+            .filter(|&b| self.present(b))
+            .nth(pick)
+            .expect("pick is below the live count")
     }
 }
 
@@ -154,8 +303,10 @@ enum SelfishVariant {
 /// One migration step of the count kernel's rule, applied at admission:
 /// the job stands on its entry node `i` (its weight counted into `W_i`,
 /// exactly like a task deciding in the round kernel), samples a uniform
-/// neighbor `j`, and moves iff the threshold condition holds and the
-/// `p_ij` coin comes up.
+/// neighbor `j` among the known-live ones, and moves iff the threshold
+/// condition holds and the `p_ij` coin comes up. A dead entry node falls
+/// back to the uniform-over-known-live draw; a live entry whose
+/// neighborhood is entirely dead keeps the job.
 struct Selfish {
     variant: SelfishVariant,
     alpha: f64,
@@ -170,20 +321,45 @@ impl RoutePolicy for Selfish {
         coin: &mut StdRng,
     ) -> usize {
         let i = entry;
+        let all_present = view.all_present();
+        if !all_present && !view.present(i) {
+            return view.uniform_known_live(coin);
+        }
         let deg_i = view.graph.degree(i.into());
         if deg_i == 0 {
             return i;
         }
-        let j: usize = view.graph.neighbors(i.into())[coin.gen_range(0..deg_i)].index();
+        let neighbors = view.graph.neighbors(i.into());
+        // With every backend present the filtered walk degenerates to the
+        // undegraded uniform neighbor draw (`live == deg_i`), coin
+        // sequence included — index directly instead of scanning.
+        let j: usize = if all_present {
+            neighbors[coin.gen_range(0..deg_i)].index()
+        } else {
+            let live = neighbors
+                .iter()
+                .filter(|&&nb| view.present(nb.index()))
+                .count();
+            if live == 0 {
+                return i;
+            }
+            let pick = coin.gen_range(0..live);
+            neighbors
+                .iter()
+                .filter(|&&nb| view.present(nb.index()))
+                .nth(pick)
+                .expect("pick is below the live neighbor count")
+                .index()
+        };
         let deg_j = view.graph.degree(j.into());
         let d_ij = deg_i.max(deg_j);
-        // The deciding job counts into its own node's state.
-        let w_i = view.outstanding[i] + weight;
+        // The deciding job counts into its own node's observed state.
+        let w_i = view.value(i) + weight;
         let (s_i, s_j) = match self.variant {
             SelfishVariant::Alg1 => (1.0, 1.0),
             _ => (view.speeds.speed(i), view.speeds.speed(j)),
         };
-        let (load_i, load_j) = (w_i / s_i, view.outstanding[j] / s_j);
+        let (load_i, load_j) = (w_i / s_i, view.value(j) / s_j);
         let theta = match self.variant {
             SelfishVariant::Alg1 | SelfishVariant::Alg2 => RelaxedThreshold.threshold(weight),
             SelfishVariant::Bhs => OwnWeightThreshold.threshold(weight),
@@ -200,7 +376,8 @@ impl RoutePolicy for Selfish {
     }
 }
 
-/// State-blind cycling dispatcher.
+/// State-blind cycling dispatcher (it does consult presence: dead
+/// backends are skipped, preserving the cycle order over the live set).
 struct RoundRobin {
     next: usize,
 }
@@ -211,15 +388,23 @@ impl RoutePolicy for RoundRobin {
         _entry: usize,
         _weight: f64,
         view: &NodeView<'_>,
-        _coin: &mut StdRng,
+        coin: &mut StdRng,
     ) -> usize {
-        let b = self.next % view.len();
-        self.next = (self.next + 1) % view.len();
-        b
+        let n = view.len();
+        for step in 0..n {
+            let b = (self.next + step) % n;
+            if view.present(b) {
+                self.next = (b + 1) % n;
+                return b;
+            }
+        }
+        self.next = (self.next + 1) % n;
+        view.uniform_known_live(coin)
     }
 }
 
-/// Global argmin over time-to-drain (ties break to the lowest index).
+/// Argmin over observed time-to-drain among present backends (ties break
+/// to the lowest index).
 struct GreedyLeastLoaded;
 
 impl RoutePolicy for GreedyLeastLoaded {
@@ -228,24 +413,48 @@ impl RoutePolicy for GreedyLeastLoaded {
         _entry: usize,
         _weight: f64,
         view: &NodeView<'_>,
-        _coin: &mut StdRng,
+        coin: &mut StdRng,
     ) -> usize {
-        let mut best = 0usize;
-        let mut best_backlog = view.free_at[0].saturating_sub(view.now);
-        for b in 1..view.len() {
-            let backlog = view.free_at[b].saturating_sub(view.now);
-            if backlog < best_backlog {
-                best = b;
-                best_backlog = backlog;
+        // Undegraded fast path: the original direct slice scan (same
+        // strict-< first-index tie-break as the general walk below).
+        if let SignalsRef::Live {
+            free_at,
+            all_up: true,
+            ..
+        } = view.signals
+        {
+            let mut best = 0usize;
+            let mut best_backlog = free_at[0].saturating_sub(view.now);
+            for (b, &f) in free_at.iter().enumerate().skip(1) {
+                let backlog = f.saturating_sub(view.now);
+                if backlog < best_backlog {
+                    best = b;
+                    best_backlog = backlog;
+                }
+            }
+            return best;
+        }
+        let mut best: Option<(usize, u64)> = None;
+        for b in 0..view.len() {
+            if !view.present(b) {
+                continue;
+            }
+            let backlog = view.signal(b).backlog_ticks;
+            if best.is_none_or(|(_, held)| backlog < held) {
+                best = Some((b, backlog));
             }
         }
-        best
+        match best {
+            Some((b, _)) => b,
+            None => view.uniform_known_live(coin),
+        }
     }
 }
 
 /// Softmax over per-backend headroom: the speed-proportional share of the
-/// total outstanding work minus what the backend already holds. An empty
-/// system degenerates to a uniform draw.
+/// observed outstanding work minus what the backend is observed to hold,
+/// over the present backends only. An empty system degenerates to a
+/// uniform draw over the live set.
 struct BandwidthSoftmax;
 
 impl RoutePolicy for BandwidthSoftmax {
@@ -257,19 +466,62 @@ impl RoutePolicy for BandwidthSoftmax {
         coin: &mut StdRng,
     ) -> usize {
         let n = view.len();
-        let total_work: f64 = view.outstanding.iter().sum();
-        let total_speed = view.speeds.total();
+        // Undegraded fast path: vectorizable slice sum and the cached
+        // speed total (both ascending-order sums, so they bit-match the
+        // filtered walk below when every backend is present).
+        if let SignalsRef::Live {
+            outstanding,
+            all_up: true,
+            ..
+        } = view.signals
+        {
+            let total_work: f64 = outstanding.iter().sum();
+            let total_speed = view.speeds.total();
+            let headroom =
+                |b: usize| total_work * view.speeds.speed(b) / total_speed - outstanding[b];
+            let max_h = (0..n).map(headroom).fold(f64::NEG_INFINITY, f64::max);
+            let mut cumulative = Vec::with_capacity(n);
+            let mut total = 0.0f64;
+            for b in 0..n {
+                total += (headroom(b) - max_h).exp();
+                cumulative.push(total);
+            }
+            let r = coin.gen_range(0.0..1.0) * total;
+            return cumulative.iter().position(|&c| r < c).unwrap_or(n - 1);
+        }
+        if !(0..n).any(|b| view.present(b)) {
+            return view.uniform_known_live(coin);
+        }
+        // Both sums run in ascending index order; with every backend
+        // present they bit-match the undegraded totals (SpeedVector
+        // accumulates its cached total in the same order).
+        let total_work: f64 = (0..n)
+            .filter(|&b| view.present(b))
+            .map(|b| view.signal(b).value)
+            .sum();
+        let total_speed: f64 = (0..n)
+            .filter(|&b| view.present(b))
+            .map(|b| view.speeds.speed(b))
+            .sum();
         let headroom =
-            |b: usize| total_work * view.speeds.speed(b) / total_speed - view.outstanding[b];
-        let max_h = (0..n).map(headroom).fold(f64::NEG_INFINITY, f64::max);
-        let mut cumulative = Vec::with_capacity(n);
+            |b: usize| total_work * view.speeds.speed(b) / total_speed - view.signal(b).value;
+        let max_h = (0..n)
+            .filter(|&b| view.present(b))
+            .map(headroom)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut cumulative: Vec<(usize, f64)> = Vec::with_capacity(n);
         let mut total = 0.0f64;
-        for b in 0..n {
+        for b in (0..n).filter(|&b| view.present(b)) {
             total += (headroom(b) - max_h).exp();
-            cumulative.push(total);
+            cumulative.push((b, total));
         }
         let r = coin.gen_range(0.0..1.0) * total;
-        cumulative.iter().position(|&c| r < c).unwrap_or(n - 1)
+        cumulative
+            .iter()
+            .find(|&&(_, c)| r < c)
+            .or(cumulative.last())
+            .map(|&(b, _)| b)
+            .expect("at least one present backend was checked above")
     }
 }
 
@@ -279,22 +531,17 @@ mod tests {
     use rand::SeedableRng;
     use slb_graphs::generators::Family;
 
+    /// Fresh-mode view over live state at `now = 0`: `free_at` is the
+    /// observed backlog, ages are zero, `up` is the presence mask.
     fn view_over<'a>(
         graph: &'a Graph,
         speeds: &'a SpeedVector,
         free_at: &'a [u64],
-        in_flight: &'a [u64],
         outstanding: &'a [f64],
+        up: &'a [bool],
     ) -> NodeView<'a> {
-        NodeView {
-            graph,
-            speeds,
-            free_at,
-            in_flight,
-            outstanding,
-            now: 0,
-            ticks_per_unit: 1 << 20,
-        }
+        let all_up = up.iter().all(|&u| u);
+        NodeView::live(graph, speeds, 0, outstanding, free_at, up, all_up)
     }
 
     #[test]
@@ -306,13 +553,23 @@ mod tests {
     }
 
     #[test]
+    fn policy_parse_rejects_near_misses_with_the_offending_token() {
+        for token in ["", "alg3", "ALG1", "alg1 ", "greedy", "round_robin"] {
+            let err = PolicyKind::parse(token).expect_err("must reject");
+            assert!(
+                err.to_string().contains(&format!("`{token}`")),
+                "error should name the token: {err}"
+            );
+        }
+    }
+
+    #[test]
     fn round_robin_cycles_and_greedy_picks_the_emptiest() {
         let graph = Family::Ring { n: 4 }.build();
         let speeds = SpeedVector::uniform(4);
         let free_at = [5, 0, 9, 2];
-        let in_flight = [1, 0, 3, 1];
         let outstanding = [1.0, 0.0, 3.0, 1.0];
-        let view = view_over(&graph, &speeds, &free_at, &in_flight, &outstanding);
+        let view = view_over(&graph, &speeds, &free_at, &outstanding, &[true; 4]);
         let mut coin = StdRng::seed_from_u64(1);
 
         let mut rr = PolicyKind::RoundRobin.instantiate(&speeds);
@@ -327,10 +584,7 @@ mod tests {
     fn selfish_stays_on_balanced_nodes_and_only_walks_edges() {
         let graph = Family::Ring { n: 8 }.build();
         let speeds = SpeedVector::uniform(8);
-        let free_at = [0u64; 8];
-        let in_flight = [2u64; 8];
-        let outstanding = [2.0f64; 8];
-        let view = view_over(&graph, &speeds, &free_at, &in_flight, &outstanding);
+        let view = view_over(&graph, &speeds, &[0u64; 8], &[2.0f64; 8], &[true; 8]);
         for kind in [PolicyKind::Alg1, PolicyKind::Alg2, PolicyKind::Bhs] {
             let mut policy = kind.instantiate(&speeds);
             let mut coin = StdRng::seed_from_u64(9);
@@ -342,7 +596,7 @@ mod tests {
 
         // A hot entry node may shed to a neighbor, never further.
         let hot_outstanding = [40.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
-        let hot = view_over(&graph, &speeds, &free_at, &in_flight, &hot_outstanding);
+        let hot = view_over(&graph, &speeds, &[0u64; 8], &hot_outstanding, &[true; 8]);
         let mut policy = PolicyKind::Alg2.instantiate(&speeds);
         let mut coin = StdRng::seed_from_u64(3);
         let mut moved = 0;
@@ -363,10 +617,8 @@ mod tests {
         // a light job (θ = w = 0.1) may.
         let graph = Family::Complete { n: 2 }.build();
         let speeds = SpeedVector::uniform(2);
-        let free_at = [0u64; 2];
-        let in_flight = [1, 0];
         let outstanding = [0.7, 0.0];
-        let view = view_over(&graph, &speeds, &free_at, &in_flight, &outstanding);
+        let view = view_over(&graph, &speeds, &[0u64; 2], &outstanding, &[true; 2]);
 
         let mut alg2 = PolicyKind::Alg2.instantiate(&speeds);
         let mut bhs = PolicyKind::Bhs.instantiate(&speeds);
@@ -392,10 +644,8 @@ mod tests {
     fn softmax_prefers_fast_idle_backends() {
         let graph = Family::Complete { n: 3 }.build();
         let speeds = SpeedVector::new(vec![4.0, 1.0, 1.0]).expect("valid speed vector");
-        let free_at = [0u64; 3];
-        let in_flight = [0, 5, 0];
         let outstanding = [0.0, 5.0, 0.0];
-        let view = view_over(&graph, &speeds, &free_at, &in_flight, &outstanding);
+        let view = view_over(&graph, &speeds, &[0u64; 3], &outstanding, &[true; 3]);
         let mut policy = PolicyKind::BandwidthSoftmax.instantiate(&speeds);
         let mut coin = StdRng::seed_from_u64(11);
         let mut counts = [0usize; 3];
@@ -405,5 +655,98 @@ mod tests {
         // Backend 0 has the largest headroom (fast and idle), backend 1
         // holds all the work and should be avoided.
         assert!(counts[0] > counts[1] && counts[2] > counts[1], "{counts:?}");
+    }
+
+    #[test]
+    fn every_policy_skips_dead_backends() {
+        let graph = Family::Complete { n: 4 }.build();
+        let speeds = SpeedVector::uniform(4);
+        // Backend 2 is the only live one — and the worst-looking one, so
+        // surviving this test requires presence to dominate load.
+        let free_at = [0, 0, 50, 0];
+        let outstanding = [0.0, 0.0, 50.0, 0.0];
+        let up = [false, false, true, false];
+        let view = view_over(&graph, &speeds, &free_at, &outstanding, &up);
+        for kind in PolicyKind::ALL {
+            let mut policy = kind.instantiate(&speeds);
+            let mut coin = StdRng::seed_from_u64(13);
+            for entry in 0..4 {
+                for _ in 0..20 {
+                    assert_eq!(
+                        policy.route(entry, 1.0, &view, &mut coin),
+                        2,
+                        "{} routed to a dead backend",
+                        kind.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_views_degrade_to_a_uniform_guess_over_everything() {
+        let graph = Family::Ring { n: 5 }.build();
+        let speeds = SpeedVector::uniform(5);
+        let view = view_over(&graph, &speeds, &[0u64; 5], &[0.0f64; 5], &[false; 5]);
+        for kind in PolicyKind::ALL {
+            let mut policy = kind.instantiate(&speeds);
+            let mut coin = StdRng::seed_from_u64(17);
+            let mut hit = [false; 5];
+            for _ in 0..300 {
+                hit[policy.route(1, 1.0, &view, &mut coin)] = true;
+            }
+            assert!(
+                hit.iter().all(|&h| h),
+                "{} never spread its blind guesses: {hit:?}",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn stale_views_replay_stored_probes_with_their_age() {
+        let graph = Family::Complete { n: 2 }.build();
+        let speeds = SpeedVector::uniform(2);
+        let stored = [
+            Stored {
+                value: 2.0,
+                backlog_ticks: 3,
+                probe_tick: 5,
+                present: true,
+            },
+            Stored {
+                value: 9.0,
+                backlog_ticks: 1,
+                probe_tick: 5,
+                present: false,
+            },
+        ];
+        let view = NodeView::snapshots(&graph, &speeds, 12, &stored);
+        let signal = view.signal(0);
+        assert_eq!(signal.value, 2.0);
+        assert_eq!(signal.backlog_ticks, 3);
+        assert_eq!(signal.age_ticks, 7);
+        assert!(signal.present);
+        assert!(!view.present(1));
+    }
+
+    #[test]
+    fn selfish_ignores_dead_neighbors_when_choosing_a_peer() {
+        // Entry 0's only live neighbor on the ring is 1; node 7 is dead.
+        let graph = Family::Ring { n: 8 }.build();
+        let speeds = SpeedVector::uniform(8);
+        let outstanding = [40.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let mut up = [true; 8];
+        up[7] = false;
+        let view = view_over(&graph, &speeds, &[0u64; 8], &outstanding, &up);
+        let mut policy = PolicyKind::Alg2.instantiate(&speeds);
+        let mut coin = StdRng::seed_from_u64(19);
+        for _ in 0..200 {
+            let b = policy.route(0, 1.0, &view, &mut coin);
+            assert!(
+                b == 0 || b == 1,
+                "walked to a dead or non-adjacent node: {b}"
+            );
+        }
     }
 }

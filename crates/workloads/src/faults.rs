@@ -1,0 +1,298 @@
+//! Fault, signal-degradation, and retry specifications for `slb serve`.
+//!
+//! Three orthogonal axes degrade the perfect-information service harness:
+//!
+//! * **Faults** ([`FaultSpec`], `faults=crash:MTTF:MTTR`) — every backend
+//!   runs an alternating renewal process: up for an exponential time with
+//!   mean `MTTF`, down for an exponential time with mean `MTTR`. A crash
+//!   evicts the backend's queue; a recovery returns it empty.
+//! * **Signal** ([`SignalSpec`], `signal=stale:D` / `loss:P` /
+//!   `stale:D+loss:P`) — policies stop seeing live state and instead see
+//!   snapshots refreshed every `D` units; each refresh loses each
+//!   backend's probe independently with probability `P`, leaving the
+//!   previous (now older) snapshot in place.
+//! * **Retry** ([`RetrySpec`], `retry=max:R:base:B`) — a job that lands
+//!   on a dead backend (or is evicted by a crash) is resubmitted up to
+//!   `R` times with exponential backoff `B·2^(a−1)` units and
+//!   deterministic jitter; a job exhausting its budget is a *failed*
+//!   job, counted, never silently dropped.
+//!
+//! Every parser mirrors [`crate::traffic`]: `none` disables the axis and
+//! every label round-trips through its parser.
+
+use crate::sweep::SweepParseError;
+use slb_core::rng::streams::serve::RETRY_ATTEMPT_STRIDE;
+
+/// Per-backend crash/recover renewal process (`faults=crash:MTTF:MTTR`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Mean time to failure in units of virtual time (exponential).
+    pub mttf: f64,
+    /// Mean time to recovery in units of virtual time (exponential).
+    pub mttr: f64,
+}
+
+/// Signal-degradation model (`signal=stale:D+loss:P`).
+///
+/// The default (`stale = 0`, `loss = 0`) is the perfect-information view:
+/// snapshots are rebuilt at every routing decision and never lost.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SignalSpec {
+    /// Probe refresh interval in units of virtual time. Zero means fresh
+    /// state at every decision (the perfect-information default).
+    pub stale: f64,
+    /// Per-backend probe loss probability per refresh, in `[0, 1)`.
+    pub loss: f64,
+}
+
+impl SignalSpec {
+    /// Whether this spec degrades the view at all.
+    pub fn is_degraded(&self) -> bool {
+        self.stale > 0.0
+    }
+}
+
+/// Bounded retry with exponential backoff (`retry=max:R:base:B`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrySpec {
+    /// Maximum resubmissions per job (attempts beyond the first), at
+    /// least 1 and below [`RETRY_ATTEMPT_STRIDE`].
+    pub max: u32,
+    /// Backoff base in units of virtual time: attempt `a ≥ 1` waits
+    /// `base · 2^(a−1)` units, scaled by the jitter draw.
+    pub base: f64,
+}
+
+/// Parses the fault token: `crash:MTTF:MTTR` or `none`.
+pub fn parse_faults(token: &str) -> Result<Option<FaultSpec>, SweepParseError> {
+    if token == "none" {
+        return Ok(None);
+    }
+    let bad = || SweepParseError::new(format!("invalid faults `{token}`"));
+    let rest = token.strip_prefix("crash:").ok_or_else(bad)?;
+    let (mttf, mttr) = rest.split_once(':').ok_or_else(bad)?;
+    let mttf: f64 = mttf.parse().map_err(|_| bad())?;
+    let mttr: f64 = mttr.parse().map_err(|_| bad())?;
+    if !(mttf.is_finite() && mttf > 0.0) {
+        return Err(SweepParseError::new(format!(
+            "fault mttf must be positive and finite, got `{mttf}`"
+        )));
+    }
+    if !(mttr.is_finite() && mttr > 0.0) {
+        return Err(SweepParseError::new(format!(
+            "fault mttr must be positive and finite, got `{mttr}`"
+        )));
+    }
+    Ok(Some(FaultSpec { mttf, mttr }))
+}
+
+/// Parses the signal token: `stale:D`, `loss:P`, `stale:D+loss:P` (any
+/// clause order, each at most once), or `none`. Clauses join with `+`,
+/// not `,`, so the round-trip label stays a single CSV field.
+pub fn parse_signal(token: &str) -> Result<SignalSpec, SweepParseError> {
+    if token == "none" {
+        return Ok(SignalSpec::default());
+    }
+    let mut stale: Option<f64> = None;
+    let mut loss: Option<f64> = None;
+    // `+` separates clauses so the label stays a single CSV field (a comma
+    // would make any row carrying it ragged against the header).
+    for clause in token.split('+') {
+        let bad = || SweepParseError::new(format!("invalid signal clause `{clause}`"));
+        let (key, value) = clause.split_once(':').ok_or_else(bad)?;
+        match key {
+            "stale" => {
+                if stale.is_some() {
+                    return Err(SweepParseError::new(
+                        "signal clause `stale` given twice".to_string(),
+                    ));
+                }
+                let d: f64 = value.parse().map_err(|_| bad())?;
+                if !(d.is_finite() && d > 0.0) {
+                    return Err(SweepParseError::new(format!(
+                        "signal staleness must be positive and finite, got `{value}`"
+                    )));
+                }
+                stale = Some(d);
+            }
+            "loss" => {
+                if loss.is_some() {
+                    return Err(SweepParseError::new(
+                        "signal clause `loss` given twice".to_string(),
+                    ));
+                }
+                let p: f64 = value.parse().map_err(|_| bad())?;
+                if !(p.is_finite() && (0.0..1.0).contains(&p)) {
+                    return Err(SweepParseError::new(format!(
+                        "signal loss must lie in [0, 1), got `{value}`"
+                    )));
+                }
+                loss = Some(p);
+            }
+            _ => return Err(bad()),
+        }
+    }
+    let spec = SignalSpec {
+        stale: stale.unwrap_or(0.0),
+        loss: loss.unwrap_or(0.0),
+    };
+    if spec.loss > 0.0 && spec.stale == 0.0 {
+        return Err(SweepParseError::new(
+            "signal loss needs a probe interval: combine `loss:P` with `stale:D`".to_string(),
+        ));
+    }
+    Ok(spec)
+}
+
+/// Parses the retry token: `max:R:base:B` or `none`.
+pub fn parse_retry(token: &str) -> Result<Option<RetrySpec>, SweepParseError> {
+    if token == "none" {
+        return Ok(None);
+    }
+    let bad = || SweepParseError::new(format!("invalid retry `{token}`"));
+    let rest = token.strip_prefix("max:").ok_or_else(bad)?;
+    let (max, rest) = rest.split_once(':').ok_or_else(bad)?;
+    let base = rest.strip_prefix("base:").ok_or_else(bad)?;
+    let max: u32 = max.parse().map_err(|_| bad())?;
+    let base: f64 = base.parse().map_err(|_| bad())?;
+    if max == 0 {
+        return Err(SweepParseError::new(
+            "retry budget needs at least one attempt".to_string(),
+        ));
+    }
+    if u64::from(max) >= RETRY_ATTEMPT_STRIDE {
+        return Err(SweepParseError::new(format!(
+            "retry budget must stay below the stream stride {RETRY_ATTEMPT_STRIDE}, got `{max}`"
+        )));
+    }
+    if !(base.is_finite() && base > 0.0) {
+        return Err(SweepParseError::new(format!(
+            "retry backoff base must be positive and finite, got `{base}`"
+        )));
+    }
+    Ok(Some(RetrySpec { max, base }))
+}
+
+/// Round-trip label of the fault axis (the `faults=` token).
+pub fn faults_label(faults: Option<FaultSpec>) -> String {
+    match faults {
+        None => "none".to_string(),
+        Some(FaultSpec { mttf, mttr }) => format!("crash:{mttf}:{mttr}"),
+    }
+}
+
+/// Round-trip label of the signal axis (the `signal=` token).
+pub fn signal_label(signal: SignalSpec) -> String {
+    match (signal.stale > 0.0, signal.loss > 0.0) {
+        (false, _) => "none".to_string(),
+        (true, false) => format!("stale:{}", signal.stale),
+        (true, true) => format!("stale:{}+loss:{}", signal.stale, signal.loss),
+    }
+}
+
+/// Round-trip label of the retry axis (the `retry=` token).
+pub fn retry_label(retry: Option<RetrySpec>) -> String {
+    match retry {
+        None => "none".to_string(),
+        Some(RetrySpec { max, base }) => format!("max:{max}:base:{base}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_tokens_roundtrip() {
+        for token in ["none", "crash:8:2", "crash:0.5:0.25"] {
+            let parsed = parse_faults(token).expect("valid token");
+            assert_eq!(faults_label(parsed), token);
+        }
+    }
+
+    #[test]
+    fn fault_rejects_malformed_tokens() {
+        for token in [
+            "crash:",
+            "crash:8",
+            "crash:8:",
+            "crash:0:2",
+            "crash:8:-1",
+            "crash:inf:2",
+            "burn:8:2",
+            "",
+        ] {
+            assert!(parse_faults(token).is_err(), "accepted `{token}`");
+        }
+        // Each malformed shape names its own failure.
+        let err = parse_faults("crash:0:2").expect_err("zero mttf");
+        assert!(err.to_string().contains("mttf"), "{err}");
+        let err = parse_faults("crash:8:nan").expect_err("nan mttr");
+        assert!(err.to_string().contains("mttr"), "{err}");
+    }
+
+    #[test]
+    fn signal_tokens_roundtrip() {
+        for token in ["none", "stale:0.5", "stale:2+loss:0.25"] {
+            let parsed = parse_signal(token).expect("valid token");
+            assert_eq!(signal_label(parsed), token);
+        }
+        // Clause order is free; the label canonicalizes.
+        let parsed = parse_signal("loss:0.1+stale:1").expect("valid token");
+        assert_eq!(signal_label(parsed), "stale:1+loss:0.1");
+    }
+
+    #[test]
+    fn signal_rejects_malformed_tokens() {
+        for token in [
+            "stale:-1",
+            "stale:0",
+            "stale:",
+            "loss:1",
+            "loss:-0.1",
+            "loss:0.5",
+            "stale:1+stale:2",
+            "stale:1+loss:0.1,loss:0.2",
+            "fresh:1",
+            "",
+        ] {
+            assert!(parse_signal(token).is_err(), "accepted `{token}`");
+        }
+        let err = parse_signal("stale:-1").expect_err("negative staleness");
+        assert!(err.to_string().contains("positive"), "{err}");
+        let err = parse_signal("stale:1+stale:2").expect_err("duplicate clause");
+        assert!(err.to_string().contains("twice"), "{err}");
+        let err = parse_signal("loss:0.5").expect_err("loss without stale");
+        assert!(err.to_string().contains("probe interval"), "{err}");
+    }
+
+    #[test]
+    fn retry_tokens_roundtrip() {
+        for token in ["none", "max:3:base:0.25", "max:31:base:1"] {
+            let parsed = parse_retry(token).expect("valid token");
+            assert_eq!(retry_label(parsed), token);
+        }
+    }
+
+    #[test]
+    fn retry_rejects_malformed_tokens() {
+        for token in [
+            "max:",
+            "max:3",
+            "max:3:0.25",
+            "max:0:base:1",
+            "max:32:base:1",
+            "max:3:base:0",
+            "max:3:base:-1",
+            "max:3:base:inf",
+            "base:1:max:3",
+            "",
+        ] {
+            assert!(parse_retry(token).is_err(), "accepted `{token}`");
+        }
+        let err = parse_retry("max:32:base:1").expect_err("stride overflow");
+        assert!(err.to_string().contains("stride"), "{err}");
+        let err = parse_retry("max:0:base:1").expect_err("zero budget");
+        assert!(err.to_string().contains("at least one"), "{err}");
+    }
+}

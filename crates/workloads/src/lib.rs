@@ -21,6 +21,9 @@
 //!   layer's sweep runner,
 //! * [`traffic`] — synthetic open/closed-loop traffic specifications
 //!   ([`TrafficSpec`]) for the `slb serve` harness,
+//! * [`faults`] — fault-injection, signal-degradation, and retry
+//!   specifications ([`FaultSpec`], [`SignalSpec`], [`RetrySpec`]) for
+//!   the `slb serve` harness's degraded modes,
 //! * [`validate`] — declarative theorem-validation ladders
 //!   ([`ValidateSpec`]): sizeless graph families × geometric `n` and
 //!   `m/n` ladders, consumed by `slb validate` and the analysis layer's
@@ -42,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod placement;
 pub mod scenario;
 pub mod speeds;
@@ -51,6 +55,7 @@ pub mod validate;
 pub mod weight_classes;
 pub mod weights;
 
+pub use faults::{FaultSpec, RetrySpec, SignalSpec};
 pub use scenario::{BuiltScenario, ScenarioError};
 pub use sweep::{CellSpec, ProtocolKind, StopRule, SweepParseError, SweepSpec};
 pub use traffic::{ClosedLoop, OpenLoop, TrafficSpec};

@@ -3,9 +3,11 @@
 # micro-benchmarks and records per-engine round throughput as a BENCH
 # snapshot JSON — both the m/n ∈ {10, 100, 1000} engine-comparison ids
 # and the sharded-round scaling ladder at n ∈ {2¹⁰, 2¹⁶, 2²⁰}
-# (`*-scale` groups, `-n<size>` ids). The `serve/route` group rides
-# along: one entry per routing policy, where a measured iteration is a
-# complete fixed-traffic serve run (generate + route + drain).
+# (`*-scale` groups, `-n<size>` ids). The `serve/route` and
+# `serve/faults` groups ride along: one entry per routing policy, where
+# a measured iteration is a complete fixed-traffic serve run (generate +
+# route + drain) — plain, and under the full degraded-mode stack
+# (crashes + stale lossy signals + retry/backoff; `faults-*` ids).
 # Committed snapshots (BENCH_*.json) form the perf trajectory future
 # PRs diff against.
 #
@@ -90,7 +92,8 @@ $1 ~ /^round\// {
     ns[engine "/" id] = median
 }
 $1 ~ /^serve\// {
-    # One full serve run per iteration: `serve/route/<policy>-ring64`.
+    # One full serve run per iteration: `serve/route/<policy>-ring64`
+    # or `serve/faults/faults-<policy>-ring64`.
     median = -1
     for (i = 1; i <= NF; i++) {
         if ($i == "median") median = to_ns($(i + 1), $(i + 2))
@@ -114,7 +117,7 @@ END {
     printf "  \"generated_by\": \"scripts/bench_baseline.sh\",\n" >> out
     printf "  \"generated_at\": \"%s\",\n", generated_at >> out
     printf "  \"toolchain\": \"%s\",\n", rustc_version >> out
-    printf "  \"scenario\": \"2-class ring:64, alternating speeds 1/2 (uniform-fast: unit tasks); scale ladder: alternating hot/cold counts, ~95 tasks/node mean; serve: one full open-loop poisson:256 x 25-unit run per policy on the two-speed ring:64\",\n" >> out
+    printf "  \"scenario\": \"2-class ring:64, alternating speeds 1/2 (uniform-fast: unit tasks); scale ladder: alternating hot/cold counts, ~95 tasks/node mean; serve: one full open-loop poisson:256 x 25-unit run per policy on the two-speed ring:64, plain (route) and under crash:6:2 + stale:0.5+loss:0.1 + max:3:base:0.25 (faults)\",\n" >> out
     printf "  \"entries\": [\n" >> out
     for (i = 1; i <= count; i++)
         printf "%s%s\n", entries[i], (i < count ? "," : "") >> out

@@ -101,6 +101,13 @@ SERVE SPEC (positional key=value tokens; omitted keys use the default):
   weights=unit,uniform:LO..HI,… job weights, sweep syntax   (default unit)
   traffic=poisson:RATE|none     open-loop jobs per unit     (default poisson:4)
   closed=USERS:THINK|none       closed-loop population      (default none)
+  faults=crash:MTTF:MTTR|none   per-backend exponential
+                                crash/recover renewals      (default none)
+  signal=stale:D[+loss:P]|none  probe-refreshed load view:
+                                interval D units, per-probe
+                                loss probability P          (default none)
+  retry=max:R:base:B|none       fault-hit jobs retry ≤ R
+                                times, backoff B·2^(a−1)    (default none)
   horizon=N                     units of traffic, then the
                                 run drains                  (default 100)
 
@@ -491,6 +498,7 @@ fn serve_spec_of(
     shift: f64,
 ) -> Result<selfish_load_balancing::analysis::serve::ServeSpec, String> {
     use selfish_load_balancing::analysis::serve::ServeSpec;
+    use selfish_load_balancing::workloads::faults;
     use selfish_load_balancing::workloads::sweep as grid;
     use selfish_load_balancing::workloads::traffic;
 
@@ -503,6 +511,9 @@ fn serve_spec_of(
             open: traffic::parse_traffic("poisson:4").map_err(|e| e.to_string())?,
             closed: None,
         },
+        faults: None,
+        signal: selfish_load_balancing::workloads::SignalSpec::default(),
+        retry: None,
         horizon: 100,
         shift,
     };
@@ -535,6 +546,9 @@ fn serve_spec_of(
             "closed" => {
                 spec.traffic.closed = traffic::parse_closed(value).map_err(|e| e.to_string())?
             }
+            "faults" => spec.faults = faults::parse_faults(value).map_err(|e| e.to_string())?,
+            "signal" => spec.signal = faults::parse_signal(value).map_err(|e| e.to_string())?,
+            "retry" => spec.retry = faults::parse_retry(value).map_err(|e| e.to_string())?,
             "horizon" => {
                 spec.horizon = value
                     .parse()
@@ -866,6 +880,9 @@ mod tests {
                 "policy=alg2,greedy-least-loaded".into(),
                 "traffic=poisson:2.5".into(),
                 "closed=4:1.5".into(),
+                "faults=crash:8:2".into(),
+                "signal=stale:0.5+loss:0.1".into(),
+                "retry=max:3:base:0.25".into(),
                 "horizon=50".into(),
             ],
             -10.0,
@@ -875,6 +892,14 @@ mod tests {
         assert_eq!(spec.policies.len(), 2);
         assert_eq!(spec.horizon, 50);
         assert!(spec.traffic.closed.is_some());
+        assert!(spec.faults.is_some());
+        assert!(spec.signal.is_degraded());
+        assert!(spec.retry.is_some());
+
+        // The degradation axes default off.
+        let spec = serve_spec_of(&[], 0.0).unwrap();
+        assert!(spec.faults.is_none() && spec.retry.is_none());
+        assert!(!spec.signal.is_degraded());
 
         // Degenerate specs are rejected with a pointed message.
         assert!(serve_spec_of(&["policy=warp-speed".into()], 0.0).is_err());
@@ -886,6 +911,25 @@ mod tests {
         let err = serve_spec_of(&["horizon=5".into()], -5.0).unwrap_err();
         assert!(err.contains("empty measurement window"), "{err}");
         let err = serve_spec_of(&["horizon=5".into(), "horizon=6".into()], 0.0).unwrap_err();
+        assert!(err.contains("given twice"), "{err}");
+
+        // Each malformed degradation token names its own failure.
+        let err = serve_spec_of(&["faults=crash:".into()], 0.0).unwrap_err();
+        assert!(err.contains("invalid faults"), "{err}");
+        let err = serve_spec_of(&["faults=crash:0:2".into()], 0.0).unwrap_err();
+        assert!(err.contains("mttf"), "{err}");
+        let err = serve_spec_of(&["signal=stale:-1".into()], 0.0).unwrap_err();
+        assert!(err.contains("staleness"), "{err}");
+        let err = serve_spec_of(&["signal=loss:0.5".into()], 0.0).unwrap_err();
+        assert!(err.contains("probe interval"), "{err}");
+        let err = serve_spec_of(&["signal=stale:1+stale:2".into()], 0.0).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+        let err = serve_spec_of(&["retry=max:0:base:1".into()], 0.0).unwrap_err();
+        assert!(err.contains("at least one"), "{err}");
+        let err = serve_spec_of(&["retry=max:99:base:1".into()], 0.0).unwrap_err();
+        assert!(err.contains("stride"), "{err}");
+        let err =
+            serve_spec_of(&["faults=crash:8:2".into(), "faults=none".into()], 0.0).unwrap_err();
         assert!(err.contains("given twice"), "{err}");
     }
 

@@ -357,10 +357,31 @@ const GOLDEN_SERVE_ARGS: &[&str] = &[
     "42",
 ];
 
-const SERVE_CSV_HEADER: &str = "policy,graph,n,speeds,weights,traffic,closed,horizon,shift,\
-                                base_seed,jobs_offered,jobs_completed,throughput,latency_mean,\
+/// The pinned degraded-mode invocation behind `tests/golden/serve_faults.csv`
+/// (also run by CI's smoke-serve-faults step): the same ring under a heavier
+/// open-loop stream with crashing backends, a stale lossy load view, and
+/// bounded retry/backoff routing.
+const GOLDEN_SERVE_FAULTS_ARGS: &[&str] = &[
+    "serve",
+    "graph=ring:8",
+    "speeds=alternating:2",
+    "weights=uniform:0.5..1",
+    "traffic=poisson:6",
+    "faults=crash:6:2",
+    "signal=stale:0.5+loss:0.1",
+    "retry=max:3:base:0.25",
+    "horizon=30",
+    "--shift",
+    "-20",
+    "--seed",
+    "42",
+];
+
+const SERVE_CSV_HEADER: &str = "policy,graph,n,speeds,weights,traffic,closed,faults,signal,retry,\
+                                horizon,shift,base_seed,jobs_offered,jobs_completed,failed_jobs,\
+                                retries_mean,availability,throughput,latency_count,latency_mean,\
                                 latency_p50,latency_p95,latency_p99,util_mean,util_min,util_max,\
-                                nash_gap";
+                                nash_gap,nash_gap_live";
 
 #[test]
 fn serve_matches_golden_file_at_any_thread_count() {
@@ -385,6 +406,24 @@ fn serve_matches_golden_file_at_any_thread_count() {
 }
 
 #[test]
+fn serve_faults_matches_golden_file_at_any_thread_count() {
+    let golden = include_str!("golden/serve_faults.csv");
+    for threads in ["1", "8", "64"] {
+        let mut args = GOLDEN_SERVE_FAULTS_ARGS.to_vec();
+        args.extend(["--threads", threads]);
+        let out = slb(&args);
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        assert_eq!(
+            stdout(&out),
+            golden,
+            "fault-sweep CSV at --threads {threads} diverges from \
+             tests/golden/serve_faults.csv (faults, probe loss, and retry \
+             jitter must all replay deterministically)"
+        );
+    }
+}
+
+#[test]
 fn golden_serve_covers_every_policy_with_live_metrics() {
     let golden = include_str!("golden/serve_small.csv");
     assert_eq!(golden.lines().next().unwrap(), SERVE_CSV_HEADER);
@@ -401,17 +440,58 @@ fn golden_serve_covers_every_policy_with_live_metrics() {
     for (line, policy) in golden.lines().skip(1).zip(policies) {
         let fields: Vec<&str> = line.split(',').collect();
         assert_eq!(fields[0], policy, "row: {line}");
+        // The degradation axes are off, and say so in every row.
+        assert_eq!(fields[7], "none", "faults: {line}");
+        assert_eq!(fields[8], "none", "signal: {line}");
+        assert_eq!(fields[9], "none", "retry: {line}");
+        assert_eq!(fields[15], "0", "failed_jobs: {line}");
+        assert_eq!(fields[16], "0", "retries_mean: {line}");
+        assert_eq!(fields[17], "1", "availability: {line}");
         // Every policy routed real work: completions, throughput, and a
         // latency sample are all live, and utilization stays a fraction.
-        assert_ne!(fields[11], "0", "jobs_completed: {line}");
-        assert_ne!(fields[12], "0", "throughput: {line}");
-        assert_ne!(fields[13], "0", "latency_mean: {line}");
-        let util_max: f64 = fields[19].parse().unwrap();
+        assert_ne!(fields[14], "0", "jobs_completed: {line}");
+        assert_ne!(fields[18], "0", "throughput: {line}");
+        assert_ne!(fields[19], "0", "latency_count: {line}");
+        assert_ne!(fields[20], "0", "latency_mean: {line}");
+        let util_max: f64 = fields[26].parse().unwrap();
         assert!(
             util_max > 0.0 && util_max <= 1.0,
             "util_max out of range: {line}"
         );
+        // With perfect information the live gap is the plain gap.
+        assert_eq!(fields[27], fields[28], "nash_gap vs nash_gap_live: {line}");
     }
+}
+
+#[test]
+fn golden_serve_faults_shares_the_scenario_across_policies() {
+    let golden = include_str!("golden/serve_faults.csv");
+    assert_eq!(golden.lines().next().unwrap(), SERVE_CSV_HEADER);
+    assert_eq!(golden.lines().count(), 7);
+    let mut availabilities = Vec::new();
+    for line in golden.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        // Degraded rows carry their own provenance.
+        assert_eq!(fields[7], "crash:6:2", "faults: {line}");
+        assert_eq!(fields[8], "stale:0.5+loss:0.1", "signal: {line}");
+        assert_eq!(fields[9], "max:3:base:0.25", "retry: {line}");
+        let availability: f64 = fields[17].parse().unwrap();
+        assert!(
+            availability > 0.0 && availability < 1.0,
+            "crashes must cost some uptime: {line}"
+        );
+        availabilities.push(fields[17]);
+        // Conservation at the artifact level: nothing silently dropped.
+        let offered: u64 = fields[13].parse().unwrap();
+        let failed: u64 = fields[15].parse().unwrap();
+        assert!(failed < offered, "failed_jobs out of range: {line}");
+    }
+    // The fault schedule is scenario-seeded: every policy row must report
+    // the exact same availability because they rode the same crashes.
+    assert!(
+        availabilities.windows(2).all(|w| w[0] == w[1]),
+        "availability differs across policies: {availabilities:?}"
+    );
 }
 
 #[test]
@@ -425,6 +505,14 @@ fn serve_rejects_malformed_specs_with_exit_one() {
         (&["serve", "closed=0:1"], "at least one user"),
         (&["serve", "bogus=1"], "unknown serve key"),
         (&["serve", "horizon=5", "horizon=6"], "given twice"),
+        (&["serve", "faults=crash:"], "invalid faults"),
+        (&["serve", "faults=crash:0:2"], "mttf"),
+        (&["serve", "faults=crash:6:2", "faults=none"], "given twice"),
+        (&["serve", "signal=stale:-1"], "staleness"),
+        (&["serve", "signal=loss:0.5"], "probe interval"),
+        (&["serve", "signal=stale:1+stale:2"], "twice"),
+        (&["serve", "retry=max:0:base:1"], "at least one"),
+        (&["serve", "retry=max:99:base:1"], "stride"),
         (
             &["serve", "horizon=5", "--shift", "-9"],
             "measurement window",
